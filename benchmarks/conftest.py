@@ -1,0 +1,35 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper
+via the experiment registry, asserts its qualitative reproduction targets,
+and records the rendered table both in the benchmark's ``extra_info`` and
+under ``benchmarks/results/`` for inspection (EXPERIMENTS.md quotes these).
+
+The underlying simulations are deterministic, so every benchmark uses a
+single pedantic round: the reported time is the wall time of regenerating
+the experiment, and the interesting output is the table itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.harness import load_experiment, run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_paper_experiment(benchmark, name: str, quick: bool = False):
+    """Run experiment ``name`` under pytest-benchmark and verify its targets."""
+    out = benchmark.pedantic(
+        run_experiment, args=(name,), kwargs={"quick": quick},
+        rounds=1, iterations=1,
+    )
+    load_experiment(name).check(out)
+    rendered = out.render()
+    benchmark.extra_info["experiment"] = name
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered)
+    print()
+    print(rendered)
+    return out

@@ -1,0 +1,12 @@
+"""Ablation — collective algorithm family.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/ablation-collectives.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ablation_collectives(benchmark):
+    run_paper_experiment(benchmark, "ablation-collectives")

@@ -1,0 +1,11 @@
+"""Ablation — multithreaded overlap vs the paper's techniques (§I remark).
+
+Regenerates the experiment and asserts the qualitative targets; rendered
+rows go to ``benchmarks/results/ablation-multithread.txt``.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ablation_multithread(benchmark):
+    run_paper_experiment(benchmark, "ablation-multithread")

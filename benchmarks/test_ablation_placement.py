@@ -1,0 +1,11 @@
+"""Ablation — rank-to-node placement sensitivity of the optimized kernel.
+
+Regenerates the experiment and asserts the qualitative targets; rendered
+rows go to ``benchmarks/results/ablation-placement.txt``.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ablation_placement(benchmark):
+    run_paper_experiment(benchmark, "ablation-placement")

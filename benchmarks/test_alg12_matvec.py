@@ -1,0 +1,11 @@
+"""Algorithms 1-2 — the paper's didactic overlapped matvec, measured.
+
+Regenerates the experiment and asserts the qualitative targets; rendered
+rows go to ``benchmarks/results/alg12.txt``.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_alg12(benchmark):
+    run_paper_experiment(benchmark, "alg12")

@@ -1,0 +1,12 @@
+"""Extension (§VI) — overlapped reductions in conjugate gradient.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+``benchmarks/results/ext-cg.txt``.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ext_cg(benchmark):
+    run_paper_experiment(benchmark, "ext-cg")

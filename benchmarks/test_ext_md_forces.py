@@ -1,0 +1,11 @@
+"""Extension (§VI) — overlapped collectives in a force-decomposition step.
+
+Regenerates the experiment and asserts the qualitative targets; rendered
+rows go to ``benchmarks/results/ext-md.txt``.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ext_md(benchmark):
+    run_paper_experiment(benchmark, "ext-md")

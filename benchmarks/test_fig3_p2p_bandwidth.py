@@ -1,0 +1,12 @@
+"""Fig. 3 — point-to-point bandwidth vs message size and PPN.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/fig3.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_fig3(benchmark):
+    run_paper_experiment(benchmark, "fig3")

@@ -1,0 +1,12 @@
+"""Fig. 5 — collective bandwidth for the three overlap cases.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/fig5.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_fig5(benchmark):
+    run_paper_experiment(benchmark, "fig5")

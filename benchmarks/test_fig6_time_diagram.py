@@ -1,0 +1,12 @@
+"""Fig. 6 — posting/wait breakdown of 8 MB collectives.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/fig6.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_fig6(benchmark):
+    run_paper_experiment(benchmark, "fig6")

@@ -1,0 +1,12 @@
+"""§V-A — alpha-beta model vs simulated baseline.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/secva.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_secva(benchmark):
+    run_paper_experiment(benchmark, "secva")

@@ -1,0 +1,12 @@
+"""Table I — SymmSquareCube Algorithms 3/4/5.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/table1.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_table1(benchmark):
+    run_paper_experiment(benchmark, "table1")

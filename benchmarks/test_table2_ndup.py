@@ -1,0 +1,12 @@
+"""Table II — optimized SymmSquareCube vs N_DUP.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/table2.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_table2(benchmark):
+    run_paper_experiment(benchmark, "table2")

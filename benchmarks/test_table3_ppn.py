@@ -1,0 +1,12 @@
+"""Table III — SymmSquareCube vs PPN, N_DUP in {1,4}.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/table3.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_table3(benchmark):
+    run_paper_experiment(benchmark, "table3")

@@ -1,0 +1,12 @@
+"""Table IV — inter-node volume/bandwidth/time vs PPN.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/table4.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_table4(benchmark):
+    run_paper_experiment(benchmark, "table4")

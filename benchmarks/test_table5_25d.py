@@ -1,0 +1,12 @@
+"""Table V — 2.5D SymmSquareCube configurations.
+
+Regenerates the experiment at paper scale and asserts the qualitative
+reproduction targets listed in DESIGN.md; the rendered rows are written to
+benchmarks/results/table5.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_table5(benchmark):
+    run_paper_experiment(benchmark, "table5")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The paper's §VI outlook, carried out: solvers and particle simulations.
+
+The conclusions of Huang & Chow (IPDPS 2019) name two next targets for
+communication-communication overlap:
+
+1. "block iterative linear solvers, where reductions (vector norms and dot
+   products) involving large numbers of nodes are the bottleneck";
+2. "distributed particle simulations [where] forces ... lead to algorithms
+   that use collective communication along processor rows and columns".
+
+This example runs both extensions:
+
+* conjugate gradient on a 1D Laplacian — classic CG (two blocking
+  allreduces per iteration) vs pipelined CG (one merged nonblocking
+  allreduce overlapped with the halo exchange and stencil);
+* a Plimpton force-decomposition step — blocking row/column position
+  broadcasts + force reduction vs the N_DUP-overlapped variant.
+
+Run:  python examples/overlapped_solvers.py
+"""
+
+import numpy as np
+
+from repro import run_cg, run_force_step
+from repro.netmodel import MachineParams
+from repro.particles import pairwise_forces_dense
+from repro.solvers import laplacian_1d_matvec_dense
+
+
+def cg_demo() -> None:
+    print("--- conjugate gradient: overlapped reductions ---")
+    # Correctness first (real data, small system).
+    rng = np.random.default_rng(1)
+    n = 150
+    b = rng.standard_normal(n)
+    res = run_cg(4, n, "pipelined", b, tol=1e-10)
+    print(f"pipelined CG: {res.iterations} iterations, "
+          f"relative residual {res.residual:.1e}")
+    assert res.residual < 1e-8
+
+    # Timing at scale (modeled, latency-bound regime).
+    print(f"\n{'ranks':>6s} {'classic us/iter':>16s} {'pipelined us/iter':>18s} {'speedup':>8s}")
+    for ranks, ppn in [(16, 2), (64, 4), (256, 8)]:
+        nn = ranks * 20_000
+        tc = run_cg(ranks, nn, "classic", maxiter=25, ppn=ppn).time_per_iteration
+        tp = run_cg(ranks, nn, "pipelined", maxiter=25, ppn=ppn).time_per_iteration
+        print(f"{ranks:6d} {tc * 1e6:16.1f} {tp * 1e6:18.1f} {tc / tp:7.2f}x")
+    print("\nHiding both per-iteration synchronization points behind the halo")
+    print("exchange and stencil approaches the 2x bound at scale.\n")
+
+
+def md_demo() -> None:
+    print("--- particle forces: overlapped row/column collectives ---")
+    rng = np.random.default_rng(2)
+    n = 80
+    x = rng.standard_normal((n, 3))
+    res = run_force_step(2, n, x, overlapped=True, n_dup=4)
+    err = np.abs(res.forces - pairwise_forces_dense(x)).max()
+    print(f"distributed force block evaluation matches the O(n^2) reference "
+          f"(max err {err:.1e})")
+    assert err < 1e-9
+
+    machine = MachineParams(node_flops=1e16)  # communication-dominated
+    print(f"\n{'particles':>10s} {'blocking ms/step':>17s} {'overlapped ms/step':>19s} {'speedup':>8s}")
+    for n_part in (1_000_000, 4_000_000, 16_000_000):
+        tb = run_force_step(8, n_part, steps=2, machine=machine).time_per_step
+        to = run_force_step(8, n_part, steps=2, overlapped=True, n_dup=4,
+                            machine=machine).time_per_step
+        print(f"{n_part:10d} {tb * 1e3:17.2f} {to * 1e3:19.2f} {tb / to:7.2f}x")
+    print("\nThe row and column broadcasts are independent collectives that")
+    print("overlap each other; the force reduction self-overlaps — the same")
+    print("N_DUP machinery as SymmSquareCube, applied where §VI points.")
+
+
+if __name__ == "__main__":
+    cg_demo()
+    print()
+    md_demo()

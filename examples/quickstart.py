@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: overlap communications with communications on a simulated cluster.
+
+This walks the paper's core idea in three steps on a tiny example you can
+run in seconds:
+
+1. a plain distributed matrix-vector multiply (paper Algorithm 1):
+   blocking row-reduction, then blocking column-broadcast;
+2. the pipelined/overlapped version (Algorithm 2): the local product is
+   split into N_DUP parts on duplicated communicators, and each part's
+   broadcast starts as soon as *that part's* reduction completes;
+3. the same comparison at a communication-dominated problem size, where
+   the overlap pays off the way the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MachineParams, run_matvec
+from repro.util import format_time
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # -- Step 1 + 2: correctness on a small real-data run -----------------
+    n, p = 200, 4
+    a = rng.standard_normal((n, n))
+    x = rng.standard_normal(n)
+
+    plain = run_matvec(p, n, a, x, overlapped=False)
+    overlapped = run_matvec(p, n, a, x, overlapped=True, n_dup=4)
+
+    assert np.allclose(plain.y, a @ x), "Algorithm 1 result wrong?!"
+    assert np.allclose(overlapped.y, a @ x), "Algorithm 2 result wrong?!"
+    print(f"n={n}, {p}x{p} mesh — both algorithms reproduce numpy's A @ x")
+    print(f"  Algorithm 1 (blocking):           {format_time(plain.elapsed)}")
+    print(f"  Algorithm 2 (N_DUP=4 overlapped): {format_time(overlapped.elapsed)}")
+    print("  (at this size, latency dominates: overlap cannot help yet)")
+    print()
+
+    # -- Step 3: the communication-dominated regime ------------------------
+    # Modeled mode: no matrix data, paper-scale message sizes; an "infinite"
+    # GEMM rate isolates the communication phases the paper targets.
+    n_big, p_big = 8_000_000, 8
+    machine = MachineParams(node_flops=1e18)
+    t_plain = run_matvec(p_big, n_big, overlapped=False, machine=machine).elapsed
+    print(f"n={n_big:.0e}, {p_big}x{p_big} mesh, communication-dominated:")
+    print(f"  Algorithm 1 (blocking):            {format_time(t_plain)}")
+    for n_dup in (2, 4, 8):
+        t = run_matvec(p_big, n_big, overlapped=True, n_dup=n_dup,
+                       machine=machine).elapsed
+        print(
+            f"  Algorithm 2 (N_DUP={n_dup} overlapped):  {format_time(t)}"
+            f"   speedup {t_plain / t:.2f}x"
+        )
+    print()
+    print("Overlapping communications with communications hides the")
+    print("synchronization, posting and reduction-compute overheads of one")
+    print("operation behind the data transfer of another — exactly the")
+    print("effect the paper exploits in SymmSquareCube (see")
+    print("examples/purification_scf.py).")
+
+
+if __name__ == "__main__":
+    main()

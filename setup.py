@@ -1,0 +1,14 @@
+"""Legacy-path installer shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP-660 editable
+installs; fully offline environments may not have it.  This shim keeps the
+classic fallback working there::
+
+    python setup.py develop --user
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""repro — reproduction of Huang & Chow, "Overlapping Communications with
+Other Communications and its Application to Distributed Dense Matrix
+Computations" (IPDPS 2019).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — deterministic discrete-event engine (generator
+  coroutines, virtual clock, tracing);
+* :mod:`repro.netmodel` — the calibrated fluid-flow network model of a
+  Stampede2-like cluster (NIC sharing, per-process injection caps, latency,
+  eager/rendezvous costs);
+* :mod:`repro.mpi` — the MPI-like substrate: communicators with ``dup``,
+  point-to-point messaging, blocking *and nonblocking* collectives built
+  from binomial / scatter-allgather / Rabenseifner / ring schedules, plus
+  the per-process progress engine;
+* :mod:`repro.dense` — distributed dense matrix computations: block
+  distributions, 2D/3D meshes, matvec (paper Algs. 1-2), SUMMA, Cannon,
+  2.5D multiplication;
+* :mod:`repro.kernels` — SymmSquareCube (paper Algs. 3-5) and its 2.5D
+  variant (Alg. 6);
+* :mod:`repro.purify` — canonical (Palser-Manolopoulos) and McWeeny
+  density-matrix purification, dense references and distributed drivers;
+* :mod:`repro.bench` — the experiment harness regenerating every table and
+  figure of the paper's evaluation (``python -m repro.bench --list``).
+
+Quick start::
+
+    import numpy as np
+    from repro import run_ssc
+
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((200, 200)); d = (m + m.T) / 2
+    out = run_ssc(p=2, n=200, algorithm="optimized", d=d, n_dup=4)
+    assert np.allclose(out.d2, d @ d)
+    print(f"simulated kernel time: {out.elapsed * 1e6:.0f} virtual us")
+"""
+
+__version__ = "1.0.0"
+
+from repro.netmodel import (
+    Cluster,
+    MachineParams,
+    NetworkParams,
+    block_placement,
+    split_placement,
+)
+from repro.mpi import World, RankEnv, Comm, CommView, Request, waitall
+from repro.mpi.gating import gated_section
+from repro.dense import (
+    Mesh2D,
+    Mesh3D,
+    run_matvec,
+    run_summa,
+    run_mm25d,
+    run_mm3d,
+)
+from repro.kernels import run_ssc, run_ssc25d, ssc_flops
+from repro.solvers import run_cg
+from repro.particles import run_force_step
+from repro.purify import (
+    SYSTEMS,
+    canonical_purify_dense,
+    density_from_eigh,
+    mcweeny_purify_dense,
+    run_distributed_purification,
+    run_scf,
+    synthetic_fock,
+)
+
+__all__ = [
+    "__version__",
+    "Cluster",
+    "MachineParams",
+    "NetworkParams",
+    "block_placement",
+    "split_placement",
+    "World",
+    "RankEnv",
+    "Comm",
+    "CommView",
+    "Request",
+    "waitall",
+    "gated_section",
+    "Mesh2D",
+    "Mesh3D",
+    "run_matvec",
+    "run_summa",
+    "run_mm25d",
+    "run_mm3d",
+    "run_ssc",
+    "run_ssc25d",
+    "ssc_flops",
+    "run_cg",
+    "run_force_step",
+    "SYSTEMS",
+    "canonical_purify_dense",
+    "density_from_eigh",
+    "mcweeny_purify_dense",
+    "run_distributed_purification",
+    "run_scf",
+    "synthetic_fock",
+]

@@ -1,0 +1,29 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Each experiment lives in :mod:`repro.bench.experiments` and is registered in
+:data:`repro.bench.harness.EXPERIMENTS`; run them with::
+
+    python -m repro.bench --list
+    python -m repro.bench fig3 fig5 table1
+    python -m repro.bench all --quick
+
+``--quick`` shrinks sweeps (fewer sizes / iterations / configurations) so the
+whole suite finishes in a couple of minutes; the full runs regenerate the
+paper-scale numbers recorded in ``EXPERIMENTS.md``.
+"""
+
+from repro.bench.harness import EXPERIMENTS, ExperimentOutput, run_experiment
+from repro.bench.microbench import (
+    p2p_bandwidth,
+    collective_bandwidth,
+    collective_timing_detail,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentOutput",
+    "run_experiment",
+    "p2p_bandwidth",
+    "collective_bandwidth",
+    "collective_timing_detail",
+]

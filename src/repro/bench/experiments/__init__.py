@@ -1,0 +1,2 @@
+"""One module per paper table/figure (plus ablations); see the registry in
+:mod:`repro.bench.harness` and the per-experiment index in ``DESIGN.md``."""

@@ -1,0 +1,89 @@
+"""Experiment registry and runner.
+
+Every experiment module in :mod:`repro.bench.experiments` exposes
+
+``run(quick: bool = False) -> ExperimentOutput``
+    Execute the experiment (scaled down when ``quick``) and return the
+    rendered tables plus a dict of raw values.
+
+``check(output: ExperimentOutput) -> None``
+    Assert the *qualitative* reproduction targets listed in DESIGN.md
+    (who wins, rough factors, monotonicity) — the benchmark tests call it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from repro.util import Table
+
+#: experiment id -> (module name, one-line description)
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "alg12": ("alg12_matvec", "Algorithms 1-2: the didactic overlapped matvec"),
+    "fig3": ("fig3_p2p_bandwidth", "P2P bandwidth vs message size for PPN=1,2,4,8"),
+    "secva": ("secva_model", "alpha-beta model vs simulated baseline time (§V-A)"),
+    "fig5": ("fig5_collective_bw", "Bcast/Reduce bandwidth: blocking vs both overlaps"),
+    "fig6": ("fig6_time_diagram", "Posting/wait time diagram for 8 MB collectives"),
+    "table1": ("table1_algorithms", "SymmSquareCube Alg. 3/4/5 performance"),
+    "table2": ("table2_ndup", "Optimized SymmSquareCube vs N_DUP"),
+    "table3": ("table3_ppn", "SymmSquareCube vs PPN with N_DUP=1 and 4"),
+    "table4": ("table4_comm_volume", "Inter-node volume/bandwidth/time vs PPN"),
+    "table5": ("table5_25d", "2.5D SymmSquareCube configurations"),
+    "ext-cg": (
+        "ext_cg_solver",
+        "extension (§VI): overlapped reductions in conjugate gradient",
+    ),
+    "ablation-collectives": (
+        "ablation_collectives",
+        "binomial vs long-message collective algorithms under overlap",
+    ),
+    "ext-md": (
+        "ext_md_forces",
+        "extension (§VI): overlapped collectives in particle simulations",
+    ),
+    "ablation-multithread": (
+        "ablation_multithread",
+        "multithreaded overlap vs the paper's two techniques (§I)",
+    ),
+    "ablation-placement": (
+        "ablation_placement",
+        "rank-to-node placement sensitivity of the optimized kernel",
+    ),
+    "ablation-network": (
+        "ablation_network",
+        "sensitivity of the headline speedups to network-model constants",
+    ),
+}
+
+
+@dataclass
+class ExperimentOutput:
+    """Tables + raw values produced by one experiment run."""
+
+    name: str
+    tables: list[Table] = field(default_factory=list)
+    values: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [f"### {self.name}"]
+        for t in self.tables:
+            parts.append(t.render())
+        if self.notes:
+            parts.append(self.notes.rstrip() + "\n")
+        return "\n".join(parts)
+
+
+def load_experiment(name: str):
+    """Import the experiment module registered under ``name``."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+    module_name, _desc = EXPERIMENTS[name]
+    return importlib.import_module(f"repro.bench.experiments.{module_name}")
+
+
+def run_experiment(name: str, quick: bool = False) -> ExperimentOutput:
+    """Run one experiment end to end and return its output."""
+    mod = load_experiment(name)
+    return mod.run(quick=quick)

@@ -1,0 +1,317 @@
+"""Micro-benchmarks: the measurement programs behind Figs. 3, 5 and 6.
+
+All run on tiny dedicated worlds in modeled (size-only) mode and return
+virtual-time measurements.  The three collective cases follow §V-B:
+
+1. *blocking*: one process per node, a single blocking collective;
+2. *nonblocking overlap* (``N_DUP = 4``): one process per node, four
+   duplicated communicators each carrying a nonblocking collective of a
+   quarter of the message;
+3. *4 PPN overlap*: four processes per node; the four "column"
+   communicators (one process per node each) each run a blocking
+   collective of a quarter of the message, naturally overlapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.requests import waitall
+from repro.mpi.world import RankEnv, World
+from repro.netmodel import NetworkParams, split_placement
+from repro.netmodel.analytic import collective_volume_long_message
+from repro.netmodel.topology import Cluster, block_placement
+from repro.util import check_positive
+
+
+def p2p_bandwidth(
+    msg_bytes: int,
+    ppn: int,
+    params: NetworkParams | None = None,
+    window: int = 4,
+) -> float:
+    """Fig. 3 measurement: aggregate unidirectional bandwidth [B/s].
+
+    ``ppn`` sender processes on node 0 each stream ``window`` back-to-back
+    messages of ``msg_bytes`` to a partner process on node 1; returns
+    ``ppn * window * msg_bytes / elapsed``.
+    """
+    check_positive("msg_bytes", msg_bytes)
+    check_positive("ppn", ppn)
+    check_positive("window", window)
+    # split_placement puts ranks [0, ppn) on node 0 and [ppn, 2 ppn) on node 1.
+    world = World(split_placement(ppn), params=params)
+    comm = world.comm_world
+
+    def sender(env: RankEnv):
+        view = env.view(comm)
+        reqs = []
+        for w in range(window):
+            req = yield from view.isend(env.rank + ppn, nbytes=msg_bytes, tag=w)
+            reqs.append(req)
+        yield from waitall(reqs)
+
+    def receiver(env: RankEnv):
+        view = env.view(comm)
+        reqs = []
+        for w in range(window):
+            req = yield from view.irecv(env.rank - ppn, tag=w)
+            reqs.append(req)
+        yield from waitall(reqs)
+
+    for r in range(ppn):
+        world.spawn(r, sender(RankEnv(world, r)))
+    for r in range(ppn, 2 * ppn):
+        world.spawn(r, receiver(RankEnv(world, r)))
+    elapsed = world.run()
+    return ppn * window * msg_bytes / elapsed
+
+
+_CASES = ("blocking", "nonblocking", "ppn", "multithread")
+_OPS = ("bcast", "reduce")
+
+
+def _single_collective(view, op: str, nbytes: int, blocking: bool):
+    """Sub-generator: one bcast/reduce of ``nbytes`` on ``view``; returns request or None."""
+    if op == "bcast":
+        if blocking:
+            yield from view.bcast(nbytes=nbytes, root=0)
+            return None
+        req = yield from view.ibcast(nbytes=nbytes, root=0)
+        return req
+    if op == "reduce":
+        if blocking:
+            yield from view.reduce(nbytes=nbytes, root=0)
+            return None
+        req = yield from view.ireduce(nbytes=nbytes, root=0)
+        return req
+    raise ValueError(f"unknown op {op!r}")
+
+
+@dataclass
+class CollectiveMeasurement:
+    """One §V-B micro-benchmark point."""
+
+    op: str
+    case: str
+    msg_bytes: int
+    elapsed: float
+    nodes: int = 4
+
+    @property
+    def bandwidth(self) -> float:
+        """Paper convention: ``2 (p-1) n / p`` volume over elapsed time."""
+        return collective_volume_long_message(self.msg_bytes, self.nodes) / self.elapsed
+
+
+def collective_bandwidth(
+    op: str,
+    case: str,
+    msg_bytes: int,
+    params: NetworkParams | None = None,
+    nodes: int = 4,
+    n_dup: int = 4,
+) -> CollectiveMeasurement:
+    """Fig. 5 measurement: effective collective bandwidth for one case.
+
+    ``op`` in {"bcast", "reduce"}; ``case`` in {"blocking", "nonblocking",
+    "ppn", "multithread"} (see the module docstring).  The fourth case
+    models the technique the paper tried and rejected (§I): ``n_dup``
+    threads of one process each drive a *blocking* collective of a quarter
+    of the message through a thread-safe MPI library — their internal
+    rounds all serialize on the library's lock (modeled as a per-round
+    critical section on the process's progress engine), and each call pays
+    a thread-safety overhead.
+    """
+    if op not in _OPS:
+        raise ValueError(f"op must be one of {_OPS}")
+    if case not in _CASES:
+        raise ValueError(f"case must be one of {_CASES}")
+    check_positive("msg_bytes", msg_bytes)
+
+    if case == "multithread":
+        return _multithread_collective(op, msg_bytes, params, nodes, n_dup)
+    if case in ("blocking", "nonblocking"):
+        world = World(block_placement(nodes, 1), params=params)
+        if case == "blocking":
+            comm = world.comm_world
+
+            def program(env: RankEnv):
+                view = env.view(comm)
+                yield from _single_collective(view, op, msg_bytes, blocking=True)
+
+            world.spawn_all(program)
+        else:
+            dups = world.comm_world.dup_many(n_dup)
+            part = msg_bytes // n_dup
+
+            def program(env: RankEnv):
+                reqs = []
+                for c, comm in enumerate(dups):
+                    view = env.view(comm)
+                    req = yield from _single_collective(view, op, part, blocking=False)
+                    reqs.append(req)
+                yield from waitall(reqs)
+
+            world.spawn_all(program)
+    else:  # "ppn": nodes * n_dup ranks, n_dup per node; column communicators.
+        world = World(block_placement(nodes * n_dup, n_dup), params=params)
+        # Column communicator c holds the c-th rank of every node.
+        columns = [
+            world.new_comm([node * n_dup + c for node in range(nodes)], f"colcomm{c}")
+            for c in range(n_dup)
+        ]
+        part = msg_bytes // n_dup
+
+        def program(env: RankEnv):
+            comm = columns[env.rank % n_dup]
+            view = env.view(comm)
+            yield from _single_collective(view, op, part, blocking=True)
+
+        world.spawn_all(program)
+
+    elapsed = world.run()
+    return CollectiveMeasurement(op=op, case=case, msg_bytes=msg_bytes,
+                                 elapsed=elapsed, nodes=nodes)
+
+
+_THREAD_CALL_OVERHEAD = 3.0e-6   # per-MPI-call lock/thread-safety cost [s]
+_THREAD_ROUND_LOCK = 2.0e-6      # per-round critical section [s]
+
+
+def _multithread_collective(op, msg_bytes, params, nodes, n_threads):
+    """The multithreaded-overlap case: n_threads blocking collectives from
+    one process, with all internal rounds contending on the MPI lock."""
+    from repro.mpi.collectives.executor import ScheduleRunner
+
+    world = World(block_placement(nodes, 1), params=params)
+    dups = world.comm_world.dup_many(n_threads)
+    part = msg_bytes // n_threads
+
+    def program(env: RankEnv):
+        # Thread-safety cost of entering MPI from n_threads threads.
+        yield from env.compute(n_threads * _THREAD_CALL_OVERHEAD, "mpi-locks")
+        events = []
+        for comm in dups:
+            view = env.view(comm)
+            if op == "bcast":
+                sched = view._bcast_schedule(part, 1, 0)
+            else:
+                sched = view._reduce_schedule(part, 1, 0)
+            # Blocking semantics per thread (round gaps apply), and every
+            # round additionally passes through the process-wide MPI lock.
+            runner = ScheduleRunner(
+                world, comm, view.rank, view._next_tag(), sched, None, 1,
+                blocking=True, label=f"mt-{op}",
+            )
+            for _ in sched:
+                world.progress_of(env.rank).submit(_THREAD_ROUND_LOCK, "mpi-lock")
+            events.append(runner.start())
+        for ev in events:
+            if not ev.fired:
+                yield ev
+
+    world.spawn_all(program)
+    elapsed = world.run()
+    return CollectiveMeasurement(op=op, case="multithread", msg_bytes=msg_bytes,
+                                 elapsed=elapsed, nodes=nodes)
+
+
+@dataclass
+class TimingDetail:
+    """Posting/wait breakdown of one operation instance (Fig. 6 bars)."""
+
+    label: str
+    post: float    # seconds spent inside the posting call
+    wait: float    # seconds from posting return to completion
+    total: float
+
+
+def collective_timing_detail(
+    op: str,
+    case: str,
+    msg_bytes: int,
+    params: NetworkParams | None = None,
+    nodes: int = 4,
+    n_dup: int = 4,
+) -> list[TimingDetail]:
+    """Fig. 6 measurement: per-operation post/wait times on node 0.
+
+    For ``blocking``/``nonblocking`` the measurements come from rank 0; for
+    the PPN case one entry per node-0 process.
+    """
+    if op not in _OPS:
+        raise ValueError(f"op must be one of {_OPS}")
+    out: list[TimingDetail] = []
+
+    if case == "blocking":
+        world = World(block_placement(nodes, 1), params=params)
+        comm = world.comm_world
+
+        def program(env: RankEnv):
+            view = env.view(comm)
+            t0 = env.now
+            yield from _single_collective(view, op, msg_bytes, blocking=True)
+            if env.rank == 0:
+                out.append(TimingDetail(f"blocking {op}", env.now - t0, 0.0,
+                                        env.now - t0))
+
+        world.spawn_all(program)
+        world.run()
+    elif case == "nonblocking":
+        world = World(block_placement(nodes, 1), params=params)
+        dups = world.comm_world.dup_many(n_dup)
+        part = msg_bytes // max(n_dup, 1)
+
+        def program(env: RankEnv):
+            reqs = []
+            posts = []
+            for comm in dups:
+                view = env.view(comm)
+                t0 = env.now
+                req = yield from _single_collective(view, op, part, blocking=False)
+                posts.append((t0, env.now))
+                reqs.append(req)
+            for c, req in enumerate(reqs):
+                t0, t1 = posts[c]
+                yield from req.wait()
+                if env.rank == 0:
+                    out.append(
+                        TimingDetail(
+                            f"{c + 1}th nonblocking {op}",
+                            t1 - t0,
+                            env.now - t1,
+                            env.now - posts[0][0],
+                        )
+                    )
+
+        world.spawn_all(program)
+        world.run()
+    elif case == "ppn":
+        world = World(block_placement(nodes * n_dup, n_dup), params=params)
+        columns = [
+            world.new_comm([node * n_dup + c for node in range(nodes)], f"colcomm{c}")
+            for c in range(n_dup)
+        ]
+        part = msg_bytes // max(n_dup, 1)
+
+        def program(env: RankEnv):
+            comm = columns[env.rank % n_dup]
+            view = env.view(comm)
+            t0 = env.now
+            yield from _single_collective(view, op, part, blocking=True)
+            if env.rank < n_dup:  # node-0 processes
+                out.append(
+                    TimingDetail(
+                        f"proc {env.rank + 1} blocking {op} (4 PPN)",
+                        env.now - t0,
+                        0.0,
+                        env.now - t0,
+                    )
+                )
+
+        world.spawn_all(program)
+        world.run()
+    else:
+        raise ValueError(f"case must be one of {_CASES}")
+    return out

@@ -1,0 +1,54 @@
+"""Distributed dense matrix computations on the simulated MPI substrate.
+
+Contents:
+
+* :mod:`repro.dense.distribution` — 2D block partitioning helpers
+  (block ranges, scatter/assemble, part splitting for N_DUP pipelines);
+* :mod:`repro.dense.mesh` — 2D and 3D process meshes with the paper's
+  row/col/grd communicators and their ``N_DUP`` duplicates;
+* :mod:`repro.dense.matvec` — Algorithms 1 and 2 (parallel matrix-vector
+  multiplication, plain and pipelined/overlapped);
+* :mod:`repro.dense.summa` — SUMMA, the 2D algorithm of the related work;
+* :mod:`repro.dense.cannon` — Cannon's algorithm (alignment + shift steps),
+  the subroutine of the 2.5D implementation;
+* :mod:`repro.dense.mm25d` — 2.5D matrix multiplication
+  (Solomonik & Demmel), used by the paper's Algorithm 6.
+
+Everything runs in two modes: *real data* (numpy blocks, results verified
+against dense numpy products in the tests) and *modeled size* (timing only,
+used at the paper's full problem scale).
+"""
+
+from repro.dense.distribution import (
+    block_range,
+    block_dim,
+    block_shape,
+    partition_matrix,
+    assemble_matrix,
+    part_slices,
+    split_parts,
+)
+from repro.dense.mesh import Mesh2D, Mesh3D
+from repro.dense.matvec import run_matvec, matvec_program
+from repro.dense.summa import run_summa
+from repro.dense.cannon import cannon_program
+from repro.dense.mm25d import run_mm25d
+from repro.dense.mm3d import run_mm3d
+
+__all__ = [
+    "block_range",
+    "block_dim",
+    "block_shape",
+    "partition_matrix",
+    "assemble_matrix",
+    "part_slices",
+    "split_parts",
+    "Mesh2D",
+    "Mesh3D",
+    "run_matvec",
+    "matvec_program",
+    "run_summa",
+    "cannon_program",
+    "run_mm25d",
+    "run_mm3d",
+]

@@ -1,0 +1,126 @@
+"""Cannon's algorithm steps — the subroutine of 2.5D multiplication (Alg. 6).
+
+On a ``q x q`` (layer of a) mesh, process ``(i, j)`` multiplies the
+travelling blocks ``A[i, l]`` and ``B[l, j]`` with
+``l = (i + j + offset + t) mod q`` at step ``t``, accumulating into its
+home block ``C[i, j]``, and circularly shifts A left / B up between steps
+with point-to-point sendrecv in the row/column communicators.  ``offset``
+selects the slice of the inner dimension a replication layer covers
+(``offset = k * steps`` in 2.5D).
+
+Blocks may be non-uniform (``n`` not divisible by ``q``): the travelling
+block's logical index is tracked so shapes always stay compatible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dense.distribution import block_dim
+from repro.dense.mesh import Mesh3D
+from repro.mpi.world import RankEnv
+
+
+def _shift(env, comm_view, dst_local, src_local, payload, nbytes, tag):
+    """Sendrecv helper: returns the payload received from ``src_local``."""
+    received = yield from comm_view.sendrecv(
+        dst_local, src_local, data=payload, nbytes=nbytes, tag=tag
+    )
+    return received
+
+
+def cannon_align(
+    env: RankEnv,
+    mesh: Mesh3D,
+    k: int,
+    i: int,
+    j: int,
+    n: int,
+    offset: int,
+    a_blk: np.ndarray | None,
+    b_blk: np.ndarray | None,
+):
+    """Initial Cannon alignment on layer ``k``: returns travelling (A, B, l).
+
+    Starting from home blocks ``A[i,j]``/``B[i,j]``, after alignment process
+    ``(i, j)`` holds ``A[i, l0]`` and ``B[l0, j]`` with
+    ``l0 = (i + j + offset) mod q``.  A moves along mesh rows in ``col_comm``
+    (the communicator spanning ``P[i, :, k]``), B along mesh columns in
+    ``row_comm`` (spanning ``P[:, j, k]``).
+    """
+    q = mesh.pi
+    bi = block_dim(i, n, q)
+    bj = block_dim(j, n, q)
+    # --- A: (i, j) must send A[i, j] to (i, j') with j' = (j - i - offset) % q
+    a_dst = (j - i - offset) % q
+    a_src = (j + i + offset) % q
+    l0 = (i + j + offset) % q
+    row_of_i = env.view(mesh.col_comm(i, k))  # spans P[i, :, k]; local rank = j
+    if a_dst == j:
+        a_recv = a_blk
+    else:
+        payload = None if a_blk is None else a_blk
+        a_recv = yield from _shift(
+            env, row_of_i, a_dst, a_src, payload, bi * block_dim(j, n, q) * 8, 11
+        )
+    # --- B: (i, j) sends B[i, j] to (i', j) with i' = (i - j - offset) % q
+    b_dst = (i - j - offset) % q
+    b_src = (i + j + offset) % q
+    col_of_j = env.view(mesh.row_comm(j, k))  # spans P[:, j, k]; local rank = i
+    if b_dst == i:
+        b_recv = b_blk
+    else:
+        payload = None if b_blk is None else b_blk
+        b_recv = yield from _shift(
+            env, col_of_j, b_dst, b_src, payload, block_dim(i, n, q) * bj * 8, 12
+        )
+    return a_recv, b_recv, l0
+
+
+def cannon_program(
+    env: RankEnv,
+    mesh: Mesh3D,
+    k: int,
+    i: int,
+    j: int,
+    n: int,
+    steps: int,
+    offset: int,
+    a_blk: np.ndarray | None,
+    b_blk: np.ndarray | None,
+    c_acc: np.ndarray | None,
+):
+    """Run ``steps`` Cannon multiply-shift steps on layer ``k``.
+
+    ``a_blk``/``b_blk`` are the *home* blocks ``A[i,j]``/``B[i,j]`` (post
+    replication broadcast); ``c_acc`` is the accumulator block (allocated
+    when real data is in play).  Returns ``c_acc``.
+    """
+    if steps < 0:
+        raise ValueError(f"negative step count {steps}")
+    if steps == 0:
+        return c_acc
+    q = mesh.pi
+    bi = block_dim(i, n, q)
+    bj = block_dim(j, n, q)
+    a_cur, b_cur, l = yield from cannon_align(env, mesh, k, i, j, n, offset, a_blk, b_blk)
+    row_of_i = env.view(mesh.col_comm(i, k))  # A travels here (local rank = j)
+    col_of_j = env.view(mesh.row_comm(j, k))  # B travels here (local rank = i)
+    for t in range(steps):
+        bl = block_dim(l, n, q)
+        c_acc = yield from env.gemm(
+            a_cur, b_cur, bi, bl, bj, accumulate=c_acc, label="cannon-gemm"
+        )
+        if t == steps - 1:
+            break  # no shift after the last multiply
+        l_next = (l + 1) % q
+        # Shift A left: send to (i, j-1), receive A[i, l+1] from (i, j+1).
+        a_cur = yield from _shift(
+            env, row_of_i, (j - 1) % q, (j + 1) % q, a_cur, bi * bl * 8, 13
+        )
+        # Shift B up: send to (i-1, j), receive B[l+1, j] from (i+1, j).
+        b_cur = yield from _shift(
+            env, col_of_j, (i - 1) % q, (i + 1) % q, b_cur, bl * bj * 8, 14
+        )
+        l = l_next
+    return c_acc

@@ -1,0 +1,95 @@
+"""2D block partitioning of dense matrices and N_DUP part splitting.
+
+An ``N x N`` matrix on a ``p x p`` block grid: block row ``i`` covers matrix
+rows ``[i*N//p, (i+1)*N//p)`` (the standard near-equal split; the paper's
+"largest matrix block size is ceil(7645/4)^2" corresponds to the same
+convention).
+
+For the nonblocking-overlap pipelines, each communicated block is divided
+into ``N_DUP`` *contiguous equal parts* (Alg. 2 line 2, Alg. 5).  Blocks are
+communicated as raveled (C-order) 1-D arrays, so a contiguous part of the
+raveled buffer is a contiguous row band of the block — no repacking, as the
+paper's third design principle requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_positive
+
+
+def block_range(i: int, n: int, p: int) -> tuple[int, int]:
+    """Half-open index range of block ``i`` when ``n`` indices split ``p`` ways."""
+    check_positive("p", p)
+    if not 0 <= i < p:
+        raise ValueError(f"block index {i} out of range for p={p}")
+    if n < 0:
+        raise ValueError(f"negative dimension {n}")
+    return (i * n) // p, ((i + 1) * n) // p
+
+
+def block_dim(i: int, n: int, p: int) -> int:
+    """Number of indices in block ``i``."""
+    lo, hi = block_range(i, n, p)
+    return hi - lo
+
+
+def block_shape(i: int, j: int, n: int, p: int) -> tuple[int, int]:
+    """Shape of matrix block ``(i, j)``."""
+    return block_dim(i, n, p), block_dim(j, n, p)
+
+
+def partition_matrix(a: np.ndarray, p: int) -> dict[tuple[int, int], np.ndarray]:
+    """Split a square matrix into a ``p x p`` dict of contiguous block copies."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"expected square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    out = {}
+    for i in range(p):
+        rlo, rhi = block_range(i, n, p)
+        for j in range(p):
+            clo, chi = block_range(j, n, p)
+            out[(i, j)] = np.ascontiguousarray(a[rlo:rhi, clo:chi])
+    return out
+
+
+def assemble_matrix(blocks: dict[tuple[int, int], np.ndarray], n: int, p: int) -> np.ndarray:
+    """Inverse of :func:`partition_matrix`."""
+    a = np.zeros((n, n))
+    for i in range(p):
+        rlo, rhi = block_range(i, n, p)
+        for j in range(p):
+            clo, chi = block_range(j, n, p)
+            blk = blocks[(i, j)]
+            if blk.shape != (rhi - rlo, chi - clo):
+                raise ValueError(
+                    f"block {(i, j)} has shape {blk.shape}, expected "
+                    f"{(rhi - rlo, chi - clo)}"
+                )
+            a[rlo:rhi, clo:chi] = blk
+    return a
+
+
+def part_slices(total: int, n_dup: int) -> list[tuple[int, int]]:
+    """The ``N_DUP`` contiguous equal parts of a length-``total`` buffer."""
+    check_positive("n_dup", n_dup)
+    if total < 0:
+        raise ValueError(f"negative length {total}")
+    return [((c * total) // n_dup, ((c + 1) * total) // n_dup) for c in range(n_dup)]
+
+
+def split_parts(buf: np.ndarray | None, total: int, n_dup: int):
+    """Views of the N_DUP parts of ``buf`` (or Nones in modeled mode).
+
+    Returns ``list[(lo, hi, view_or_None)]``; ``buf`` must be 1-D of length
+    ``total`` when given.
+    """
+    if buf is not None:
+        buf = np.asarray(buf)
+        if buf.ndim != 1 or buf.size != total:
+            raise ValueError(f"buffer must be 1-D of length {total}, got {buf.shape}")
+    out = []
+    for lo, hi in part_slices(total, n_dup):
+        out.append((lo, hi, None if buf is None else buf[lo:hi]))
+    return out

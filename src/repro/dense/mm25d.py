@@ -1,0 +1,133 @@
+"""2.5D matrix multiplication (Solomonik & Demmel), on a ``q x q x c`` mesh.
+
+``P = q^2 c`` processes; the front face (``k = 0``) owns the ``q x q`` block
+partitions of A and B.  Each of the ``c`` replication layers receives a full
+copy of A and B (grid broadcast), runs ``s = q / c`` Cannon steps at inner
+offset ``k * s``, and the partial C blocks are summed across layers back to
+the front face.  Memory use is ``c`` times the 2D algorithm's; per-process
+communication volume drops from ``O(n^2/sqrt(P))`` to ``O(n^2/sqrt(c P))``
+(§II of the paper).
+
+``c = 1`` degenerates to Cannon's 2D algorithm; ``c = q`` is the 3D
+algorithm limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dense.cannon import cannon_program
+from repro.dense.distribution import block_dim, block_range
+from repro.dense.mesh import Mesh3D
+from repro.mpi.world import RankEnv, World
+from repro.netmodel import MachineParams, NetworkParams, block_placement
+from repro.util import check_positive
+
+
+def bcast_block_into(env: RankEnv, comm_view, blk: np.ndarray | None,
+                     shape: tuple[int, int], root: int, real: bool):
+    """Like :func:`bcast_block` but allocates receive buffers in real mode."""
+    nbytes = shape[0] * shape[1] * 8
+    if not real:
+        yield from comm_view.bcast(nbytes=nbytes, root=root)
+        return None
+    if comm_view.rank == root:
+        buf = np.ascontiguousarray(blk).ravel()
+    else:
+        buf = np.empty(shape[0] * shape[1])
+    out = yield from comm_view.bcast(buf, nbytes=nbytes, root=root)
+    return out.reshape(shape)
+
+
+def mm25d_program(
+    env: RankEnv,
+    mesh: Mesh3D,
+    n: int,
+    a_blk: np.ndarray | None,
+    b_blk: np.ndarray | None,
+    real: bool,
+):
+    """Rank program for one 2.5D product; front face returns ``C[i,j]``."""
+    q, c = mesh.pi, mesh.pk
+    if q % c != 0:
+        raise ValueError(f"2.5D requires c | q, got q={q}, c={c}")
+    s = q // c
+    i, j, k = mesh.coords_of(env.rank)
+    bi = block_dim(i, n, q)
+    bj = block_dim(j, n, q)
+    grd = env.view(mesh.grd_comm(i, j))
+    # Replicate A and B to all layers.
+    a_home = yield from bcast_block_into(env, grd, a_blk, (bi, bj), 0, real)
+    b_home = yield from bcast_block_into(env, grd, b_blk, (bi, bj), 0, real)
+    # Layer-local Cannon steps covering inner indices [k*s, (k+1)*s).
+    c_acc = np.zeros((bi, bj)) if real else None
+    c_acc = yield from cannon_program(
+        env, mesh, k, i, j, n, steps=s, offset=k * s,
+        a_blk=a_home, b_blk=b_home, c_acc=c_acc,
+    )
+    # Sum partial C across layers back to the front face.
+    send = c_acc.ravel() if real else None
+    red = yield from grd.reduce(send, nbytes=bi * bj * 8, root=0)
+    if k == 0 and real:
+        return red.reshape(bi, bj)
+    return None
+
+
+@dataclass
+class MM25DResult:
+    """Outcome of :func:`run_mm25d`."""
+
+    c: np.ndarray | None
+    elapsed: float
+    world: World
+
+
+def run_mm25d(
+    q: int,
+    c: int,
+    n: int,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    *,
+    ppn: int = 1,
+    params: NetworkParams | None = None,
+    machine: MachineParams | None = None,
+) -> MM25DResult:
+    """Run one 2.5D product ``C = A B`` on a fresh ``q x q x c`` world."""
+    check_positive("q", q)
+    check_positive("c", c)
+    if q % c != 0:
+        raise ValueError(f"2.5D requires c | q, got q={q}, c={c}")
+    if (a is None) != (b is None):
+        raise ValueError("pass both a and b, or neither")
+    real = a is not None
+    world = World(block_placement(q * q * c, max(ppn, 1)), params=params,
+                  machine=machine)
+    mesh = Mesh3D(world, q, q, c)
+
+    def program(env: RankEnv):
+        i, j, k = mesh.coords_of(env.rank)
+        a_blk = b_blk = None
+        if real and k == 0:
+            rlo, rhi = block_range(i, n, q)
+            clo, chi = block_range(j, n, q)
+            a_blk = np.ascontiguousarray(a[rlo:rhi, clo:chi])
+            b_blk = np.ascontiguousarray(b[rlo:rhi, clo:chi])
+        result = yield from mm25d_program(env, mesh, n, a_blk, b_blk, real)
+        return result
+
+    world.spawn_all(program, ranks=range(q * q * c))
+    elapsed = world.run()
+    c_mat = None
+    if real:
+        c_mat = np.zeros((n, n))
+        for rank, c_blk in enumerate(world.results()):
+            i, j, k = mesh.coords_of(rank)
+            if k != 0:
+                continue
+            rlo, rhi = block_range(i, n, q)
+            clo, chi = block_range(j, n, q)
+            c_mat[rlo:rhi, clo:chi] = c_blk
+    return MM25DResult(c=c_mat, elapsed=elapsed, world=world)

@@ -1,0 +1,111 @@
+"""SUMMA — the 2D algorithm of van de Geijn & Watts (related work, §II).
+
+``C = A B`` on a ``p x p`` mesh: for every block column ``l``, the owners
+broadcast ``A[i,l]`` along mesh row ``i`` and ``B[l,j]`` along mesh column
+``j``, and every process accumulates ``A[i,l] @ B[l,j]``.  Included as the
+reference 2D algorithm the paper positions 3D/2.5D algorithms against, and
+as an integration test of the substrate (its results are checked against
+dense numpy products).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dense.distribution import block_dim, block_range
+from repro.dense.mesh import Mesh2D
+from repro.mpi.world import RankEnv, World
+from repro.netmodel import MachineParams, NetworkParams, block_placement
+from repro.util import check_positive
+
+
+def summa_program(
+    env: RankEnv,
+    mesh: Mesh2D,
+    n: int,
+    a_block: np.ndarray | None,
+    b_block: np.ndarray | None,
+):
+    """Rank program: one SUMMA multiplication; returns my ``C[i,j]`` block."""
+    p = mesh.p
+    i, j = mesh.coords_of(env.rank)
+    bi = block_dim(i, n, p)
+    bj = block_dim(j, n, p)
+    real = a_block is not None
+    c_block = np.zeros((bi, bj)) if real else None
+    row = env.view(mesh.row_comm(i))
+    col = env.view(mesh.col_comm(j))
+    for l in range(p):
+        bl = block_dim(l, n, p)
+        # Broadcast A[i,l] along row i (root = column l).
+        if j == l:
+            a_panel = a_block
+            a_buf = a_block.ravel().copy() if real else None
+        else:
+            a_buf = np.empty(bi * bl) if real else None
+        a_buf = yield from row.bcast(a_buf, nbytes=bi * bl * 8, root=l)
+        a_panel = a_buf.reshape(bi, bl) if real else None
+        # Broadcast B[l,j] along column j (root = row l).
+        if i == l:
+            b_buf = b_block.ravel().copy() if real else None
+        else:
+            b_buf = np.empty(bl * bj) if real else None
+        b_buf = yield from col.bcast(b_buf, nbytes=bl * bj * 8, root=l)
+        b_panel = b_buf.reshape(bl, bj) if real else None
+        yield from env.gemm(a_panel, b_panel, bi, bl, bj,
+                            accumulate=c_block, label="summa-gemm")
+    return c_block
+
+
+@dataclass
+class SummaResult:
+    """Outcome of :func:`run_summa`."""
+
+    c: np.ndarray | None
+    elapsed: float
+    world: World
+
+
+def run_summa(
+    p: int,
+    n: int,
+    a: np.ndarray | None = None,
+    b: np.ndarray | None = None,
+    *,
+    ppn: int = 1,
+    params: NetworkParams | None = None,
+    machine: MachineParams | None = None,
+) -> SummaResult:
+    """Run one SUMMA product on a fresh world; assemble C in real mode."""
+    check_positive("p", p)
+    if (a is None) != (b is None):
+        raise ValueError("pass both a and b, or neither")
+    world = World(block_placement(p * p, 1 if ppn < 1 else ppn), params=params,
+                  machine=machine)
+    mesh = Mesh2D(world, p)
+
+    def program(env: RankEnv):
+        i, j = mesh.coords_of(env.rank)
+        if a is not None:
+            rlo, rhi = block_range(i, n, p)
+            clo, chi = block_range(j, n, p)
+            a_blk = np.ascontiguousarray(a[rlo:rhi, clo:chi])
+            b_blk = np.ascontiguousarray(b[rlo:rhi, clo:chi])
+        else:
+            a_blk = b_blk = None
+        c_blk = yield from summa_program(env, mesh, n, a_blk, b_blk)
+        return c_blk
+
+    world.spawn_all(program, ranks=range(p * p))
+    elapsed = world.run()
+    c = None
+    if a is not None:
+        c = np.zeros((n, n))
+        for rank, c_blk in enumerate(world.results()):
+            i, j = mesh.coords_of(rank)
+            rlo, rhi = block_range(i, n, p)
+            clo, chi = block_range(j, n, p)
+            c[rlo:rhi, clo:chi] = c_blk
+    return SummaResult(c=c, elapsed=elapsed, world=world)

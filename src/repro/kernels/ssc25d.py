@@ -1,0 +1,222 @@
+"""SymmSquareCube via 2.5D matrix multiplication — the paper's Algorithm 6.
+
+On a ``q x q x c`` mesh (``P = q^2 c`` processes, replication factor ``c``):
+
+1. ``(i,j,0)`` grid-broadcasts ``D[i,j]`` to all layers (A and B share it).
+2. ``s = q/c`` Cannon steps per layer at inner offset ``k*s`` accumulate the
+   layer's share of ``D^2``.
+3. ``MPI_Allreduce`` over the grid dimension sums the layers; every layer
+   now holds ``D2[i,j]``, the B blocks of the second multiplication.
+4. A second alignment + ``s`` Cannon steps accumulate the layer's share of
+   ``D^3``.
+5. ``MPI_Reduce`` over the grid dimension lands ``D3[i,j]`` on the front.
+
+Nonblocking overlap (``n_dup > 1``) splits each of the three collectives
+into ``N_DUP`` parts on duplicated grid communicators — each collective is
+overlapped *with itself*; as the paper notes, this algorithm offers no
+cross-operation pipelining like Algorithm 5, so the gains are smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dense.cannon import cannon_program
+from repro.dense.distribution import block_dim, block_range, part_slices
+from repro.dense.mesh import Mesh3D
+from repro.mpi.requests import waitall
+from repro.mpi.world import RankEnv, World
+from repro.kernels.symmsquarecube import ssc_flops
+from repro.netmodel import MachineParams, NetworkParams, block_placement
+from repro.util import check_positive
+
+
+def _overlapped_grd_bcast(env, mesh, i, j, n_dup, buf, total, root):
+    """Ibcast each of the buffer's N_DUP parts on its own grid-comm duplicate."""
+    reqs = []
+    for c, (lo, hi) in enumerate(part_slices(total, n_dup)):
+        gv = env.view(mesh.grd_comm(i, j, c))
+        part = None if buf is None else buf[lo:hi]
+        req = yield from gv.ibcast(part, nbytes=(hi - lo) * 8, root=root)
+        reqs.append(req)
+    yield from waitall(reqs)
+    return buf
+
+
+def _overlapped_grd_allreduce(env, mesh, i, j, n_dup, buf, total):
+    """Iallreduce the buffer's parts on duplicated grid comms; returns result."""
+    reqs = []
+    parts = part_slices(total, n_dup)
+    for c, (lo, hi) in enumerate(parts):
+        gv = env.view(mesh.grd_comm(i, j, c))
+        part = None if buf is None else buf[lo:hi]
+        req = yield from gv.iallreduce(part, nbytes=(hi - lo) * 8)
+        reqs.append(req)
+    results = yield from waitall(reqs)
+    if buf is None:
+        return None
+    out = np.empty(total)
+    for (lo, hi), part in zip(parts, results):
+        out[lo:hi] = part
+    return out
+
+
+def _overlapped_grd_reduce(env, mesh, i, j, n_dup, buf, total, root):
+    """Ireduce the buffer's parts on duplicated grid comms; returns root result."""
+    reqs = []
+    parts = part_slices(total, n_dup)
+    for c, (lo, hi) in enumerate(parts):
+        gv = env.view(mesh.grd_comm(i, j, c))
+        part = None if buf is None else buf[lo:hi]
+        req = yield from gv.ireduce(part, nbytes=(hi - lo) * 8, root=root)
+        reqs.append(req)
+    results = yield from waitall(reqs)
+    me_local = mesh.grd_comm(i, j).local(env.rank)
+    if buf is None or me_local != root:
+        return None
+    out = np.empty(total)
+    for (lo, hi), part in zip(parts, results):
+        out[lo:hi] = part
+    return out
+
+
+def ssc25d_program(env: RankEnv, mesh: Mesh3D, n: int,
+                   d_blk: np.ndarray | None, real: bool, n_dup: int = 1):
+    """One SymmSquareCube call via 2.5D multiplication (Algorithm 6).
+
+    Front-face ranks return ``(d2_block, d3_block)``; others ``None``.
+    """
+    q, c = mesh.pi, mesh.pk
+    if q % c != 0:
+        raise ValueError(f"2.5D requires c | q, got q={q}, c={c}")
+    check_positive("n_dup", n_dup)
+    s = q // c
+    i, j, k = mesh.coords_of(env.rank)
+    bi, bj = block_dim(i, n, q), block_dim(j, n, q)
+
+    # Step 1: replicate D[i,j] to every layer (A and B alias it).
+    if k == 0 and real:
+        d_home = np.ascontiguousarray(d_blk).ravel().copy()
+    else:
+        d_home = np.empty(bi * bj) if real else None
+    d_home = yield from _overlapped_grd_bcast(
+        env, mesh, i, j, n_dup, d_home, bi * bj, root=0
+    )
+    d_mat = d_home.reshape(bi, bj) if real else None
+
+    # Step 2: this layer's Cannon share of D^2 = D * D.
+    c1 = yield from cannon_program(
+        env, mesh, k, i, j, n, steps=s, offset=k * s,
+        a_blk=d_mat, b_blk=d_mat, c_acc=None,
+    )
+
+    # Step 3: allreduce across layers -> D2[i,j] everywhere.
+    c1_buf = c1.ravel() if real else None
+    d2_buf = yield from _overlapped_grd_allreduce(
+        env, mesh, i, j, n_dup, c1_buf, bi * bj
+    )
+    d2_mat = d2_buf.reshape(bi, bj) if real else None
+
+    # Step 4: second alignment + Cannon share of D^3 = D * D2.
+    c2 = yield from cannon_program(
+        env, mesh, k, i, j, n, steps=s, offset=k * s,
+        a_blk=d_mat, b_blk=d2_mat, c_acc=None,
+    )
+
+    # Step 5: reduce across layers to the front face -> D3[i,j].
+    c2_buf = c2.ravel() if real else None
+    d3_buf = yield from _overlapped_grd_reduce(
+        env, mesh, i, j, n_dup, c2_buf, bi * bj, root=0
+    )
+
+    if k != 0:
+        return None
+    if not real:
+        return (None, None)
+    return (d2_mat.copy(), d3_buf.reshape(bi, bj))
+
+
+@dataclass
+class SSC25DResult:
+    """Outcome of :func:`run_ssc25d`."""
+
+    d2: np.ndarray | None
+    d3: np.ndarray | None
+    times: list[float]
+    n: int
+    world: World
+    mesh: Mesh3D
+
+    @property
+    def elapsed(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def tflops(self) -> float:
+        return ssc_flops(self.n) / self.elapsed / 1e12
+
+
+def run_ssc25d(
+    q: int,
+    c: int,
+    n: int,
+    d: np.ndarray | None = None,
+    *,
+    n_dup: int = 1,
+    ppn: int = 1,
+    iterations: int = 1,
+    params: NetworkParams | None = None,
+    machine: MachineParams | None = None,
+) -> SSC25DResult:
+    """Run Algorithm 6 on a fresh ``q x q x c`` world (cf. :func:`run_ssc`)."""
+    check_positive("q", q)
+    check_positive("c", c)
+    check_positive("iterations", iterations)
+    if q % c != 0:
+        raise ValueError(f"2.5D requires c | q, got q={q}, c={c}")
+    real = d is not None
+    if real and not np.allclose(d, d.T):
+        raise ValueError("SymmSquareCube requires a symmetric input matrix")
+    world = World(block_placement(q * q * c, max(ppn, 1)), params=params,
+                  machine=machine)
+    mesh = Mesh3D(world, q, q, c, n_dup=max(n_dup, 1))
+
+    def program(env: RankEnv):
+        i, j, k = mesh.coords_of(env.rank)
+        d_blk = None
+        if real and k == 0:
+            rlo, rhi = block_range(i, n, q)
+            clo, chi = block_range(j, n, q)
+            d_blk = np.ascontiguousarray(d[rlo:rhi, clo:chi])
+        gv = env.view(mesh.global_comm)
+        times = []
+        result = None
+        for _ in range(iterations):
+            yield from gv.barrier()
+            t0 = env.now
+            result = yield from ssc25d_program(env, mesh, n, d_blk, real, n_dup)
+            times.append(env.now - t0)
+        return (times, result)
+
+    world.spawn_all(program, ranks=range(q * q * c))
+    world.run()
+    outs = world.results()
+    iter_times = [
+        max(outs[r][0][it] for r in range(q * q * c)) for it in range(iterations)
+    ]
+    d2 = d3 = None
+    if real:
+        d2 = np.zeros((n, n))
+        d3 = np.zeros((n, n))
+        for rank in range(q * q * c):
+            i, j, k = mesh.coords_of(rank)
+            if k != 0:
+                continue
+            blk2, blk3 = outs[rank][1]
+            rlo, rhi = block_range(i, n, q)
+            clo, chi = block_range(j, n, q)
+            d2[rlo:rhi, clo:chi] = blk2
+            d3[rlo:rhi, clo:chi] = blk3
+    return SSC25DResult(d2=d2, d3=d3, times=iter_times, n=n, world=world, mesh=mesh)

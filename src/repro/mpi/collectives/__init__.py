@@ -1,0 +1,52 @@
+"""Collective algorithms and their schedule executor.
+
+A collective is compiled, per rank, into a *schedule*: a list of rounds,
+each round a list of ops
+
+* ``("send", peer, lo, hi)``  — ship my buffer's element range ``[lo, hi)``;
+* ``("copy", peer, lo, hi)``  — receive the range and store it;
+* ``("add",  peer, lo, hi)``  — receive the range and sum it in (reductions).
+
+The algorithms mirror MPICH's choices, which the paper assumes in its
+analysis (§V-A): binomial trees for short messages, scatter + ring-allgather
+broadcast and Rabenseifner reduction (recursive-halving reduce-scatter +
+binomial gather, with the standard fold for non-power-of-two process counts)
+for long messages, and dissemination barriers.  Blocking and nonblocking
+execution share one engine-driven :class:`~repro.mpi.collectives.executor.
+ScheduleRunner`; blocking execution inserts the per-round synchronization
+gap that pre-posted nonblocking schedules avoid.
+"""
+
+from repro.mpi.collectives.algorithms import (
+    bcast_binomial,
+    bcast_long,
+    reduce_binomial,
+    reduce_rabenseifner,
+    reduce_ring,
+    allreduce_short,
+    allreduce_long,
+    allreduce_ring,
+    allgather_ring,
+    allgather_recursive_doubling,
+    barrier_dissemination,
+    schedule_volume_bytes,
+    validate_schedules,
+)
+from repro.mpi.collectives.executor import ScheduleRunner
+
+__all__ = [
+    "bcast_binomial",
+    "bcast_long",
+    "reduce_binomial",
+    "reduce_rabenseifner",
+    "reduce_ring",
+    "allreduce_short",
+    "allreduce_long",
+    "allreduce_ring",
+    "allgather_ring",
+    "allgather_recursive_doubling",
+    "barrier_dissemination",
+    "schedule_volume_bytes",
+    "validate_schedules",
+    "ScheduleRunner",
+]

@@ -1,0 +1,49 @@
+"""Kernel gating: use a different number of PPN for different kernels (§III-B).
+
+The paper advocates launching many processes per node and "utilizing just
+the right number of these processes for each stage of the code.  In this
+mechanism ... processes that will be inactive call MPI_Ibarrier.  Then these
+processes use MPI_Test and usleep functions to check for the wake-up signal
+(completion of the barrier) every 10 milliseconds.  Processes that are
+active perform the work of the purification kernel and then call
+MPI_Ibarrier when they are finished, in order to release the inactive
+processes and move collectively to the next kernel."
+
+:func:`gated_section` implements exactly that protocol on the simulated MPI.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import CommView
+from repro.mpi.world import RankEnv
+from repro.util import check_positive
+
+
+def gated_section(
+    env: RankEnv,
+    comm_view: CommView,
+    active: bool,
+    work=None,
+    poll_interval: float = 0.010,
+):
+    """Generator: run ``work`` on active ranks while inactive ranks sleep.
+
+    ``comm_view`` must span *all* ranks of the section (active + inactive).
+    Active ranks drive the ``work`` sub-generator and then enter the
+    releasing ``MPI_Ibarrier``; inactive ranks enter it immediately and poll
+    its completion with ``MPI_Test`` every ``poll_interval`` seconds
+    (sleeping in between, i.e. not consuming their node's CPU).  Returns the
+    work's result on active ranks, ``None`` on inactive ones.
+    """
+    check_positive("poll_interval", poll_interval)
+    if active:
+        if work is None:
+            raise ValueError("active ranks must supply work")
+        result = yield from work
+        req = yield from comm_view.ibarrier()
+        yield from req.wait()
+        return result
+    req = yield from comm_view.ibarrier()
+    while not req.test():
+        yield from env.sleep(poll_interval)
+    return None

@@ -1,0 +1,97 @@
+"""Request objects returned by nonblocking operations.
+
+A :class:`Request` wraps a completion :class:`~repro.sim.engine.SimEvent`.
+``yield from req.wait()`` suspends the calling rank until completion and
+returns the operation's payload (the received data for receives, the result
+buffer for collectives).  ``req.test()`` is the nonblocking completion probe
+(the paper's §III-B PPN-gating mechanism polls with MPI_Test + usleep).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.engine import SimEvent
+from repro.sim.process import AnyOf
+from repro.sim.trace import SpanKind
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation."""
+
+    __slots__ = ("world", "rank", "label", "done", "_result")
+
+    def __init__(self, world, rank: int, label: str, done: SimEvent):
+        self.world = world
+        self.rank = rank
+        self.label = label
+        self.done = done
+        self._result: Any = None
+
+    def set_result(self, value: Any) -> None:
+        """Record the value :meth:`wait` will return (set by the layer below)."""
+        self._result = value
+
+    @property
+    def result(self) -> Any:
+        return self._result
+
+    def test(self) -> bool:
+        """Nonblocking completion check (MPI_Test)."""
+        return self.done.fired
+
+    def wait(self):
+        """Generator: suspend until completion; returns the payload (MPI_Wait)."""
+        t0 = self.world.engine.now
+        if not self.done.fired:
+            yield self.done
+        t1 = self.world.engine.now
+        if t1 > t0:
+            self.world.trace.add(self.rank, t0, t1, SpanKind.WAIT, f"wait {self.label}")
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done.fired else "pending"
+        return f"<Request {self.label!r} r{self.rank} {state}>"
+
+
+def waitall(requests: list[Request]):
+    """Generator: wait for every request; returns their payloads in order.
+
+    Records a single WAIT span covering the whole MPI_Waitall.
+    """
+    if not requests:
+        return []
+    world = requests[0].world
+    rank = requests[0].rank
+    t0 = world.engine.now
+    results = []
+    for req in requests:
+        if not req.done.fired:
+            yield req.done
+        results.append(req._result)
+    t1 = world.engine.now
+    if t1 > t0:
+        world.trace.add(rank, t0, t1, SpanKind.WAIT, f"waitall[{len(requests)}]")
+    return results
+
+
+def waitany(requests: list[Request]):
+    """Generator: wait until *one* request completes (MPI_Waitany).
+
+    Returns ``(index, payload)`` of the first completion; already-completed
+    requests win immediately (lowest index first, matching MPI).
+    """
+    if not requests:
+        raise ValueError("waitany needs at least one request")
+    for idx, req in enumerate(requests):
+        if req.done.fired:
+            return idx, req._result
+    world = requests[0].world
+    rank = requests[0].rank
+    t0 = world.engine.now
+    idx, _value = yield AnyOf([r.done for r in requests])
+    t1 = world.engine.now
+    if t1 > t0:
+        world.trace.add(rank, t0, t1, SpanKind.WAIT, f"waitany[{len(requests)}]")
+    return idx, requests[idx]._result

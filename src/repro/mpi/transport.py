@@ -1,0 +1,145 @@
+"""Point-to-point message matching and transfer protocols.
+
+Messages are matched by ``(communicator id, destination, source, tag)`` in
+FIFO order — MPI's non-overtaking rule for identical envelopes.  Two
+protocols, switched on message size exactly like a real MPI library:
+
+eager (``nbytes <= rendezvous_threshold``)
+    The payload is shipped immediately; the send completes locally (the
+    caller charges the internal-buffer copy).  If the receive is posted
+    late, the message waits in the unexpected queue.
+
+rendezvous (large messages)
+    Data moves only after both sides have posted (synchronization overhead
+    the paper lists as reason (a) for poor bandwidth utilization); the
+    handshake adds ``rendezvous_extra`` latency and the send completes with
+    the transfer.
+
+The transport is *engine-driven*: posting functions are plain calls that
+return :class:`~repro.mpi.requests.Request` objects, so both user-level
+``isend``/``irecv`` wrappers (which add CPU overheads) and collective
+schedules (driven by the progress machinery) share one code path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.mpi.requests import Request
+
+
+class _SendState:
+    __slots__ = ("src", "dst", "nbytes", "data", "eager", "request", "arrived", "recv")
+
+    def __init__(self, src, dst, nbytes, data, eager, request):
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.data = data
+        self.eager = eager
+        self.request = request
+        self.arrived = False       # eager payload landed before recv posted
+        self.recv: Request | None = None
+
+
+class Transport:
+    """World-wide p2p matching engine (one instance per :class:`World`)."""
+
+    def __init__(self, world):
+        self.world = world
+        # key -> deque of pending recv Requests / unmatched _SendStates
+        self._recv_q: dict[tuple, deque] = {}
+        self._send_q: dict[tuple, deque] = {}
+
+    # -- posting ---------------------------------------------------------------
+
+    def post_send(
+        self,
+        cid: int,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        data: Any = None,
+    ) -> Request:
+        """Post a send of ``nbytes`` from global rank ``src`` to ``dst``.
+
+        Returns a request completing per the protocol rules above.  ``data``
+        is an arbitrary payload delivered to the matching receive (``None``
+        in modeled-size-only runs).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        params = self.world.params
+        eager = nbytes <= params.rendezvous_threshold
+        done = self.world.engine.event(f"send(r{src}->r{dst},t{tag})")
+        req = Request(self.world, src, f"send->r{dst}", done)
+        state = _SendState(src, dst, nbytes, data, eager, req)
+        key = (cid, dst, src, tag)
+        if eager:
+            # Ship immediately; sender is free as soon as posted.
+            flow = self.world.fabric.transfer(src, dst, nbytes)
+            flow.add_callback(lambda _ev, s=state: self._eager_arrived(s))
+            done.succeed(None)
+        rq = self._recv_q.get(key)
+        if rq:
+            recv = rq.popleft()
+            self._matched(state, recv)
+        else:
+            self._send_q.setdefault(key, deque()).append(state)
+        return req
+
+    def post_recv(self, cid: int, dst: int, src: int, tag: int) -> Request:
+        """Post a receive at global rank ``dst`` for (``src``, ``tag``)."""
+        done = self.world.engine.event(f"recv(r{dst}<-r{src},t{tag})")
+        req = Request(self.world, dst, f"recv<-r{src}", done)
+        key = (cid, dst, src, tag)
+        sq = self._send_q.get(key)
+        if sq:
+            state = sq.popleft()
+            self._matched(state, req)
+        else:
+            self._recv_q.setdefault(key, deque()).append(req)
+        return req
+
+    # -- protocol internals ------------------------------------------------------
+
+    def _matched(self, state: _SendState, recv: Request) -> None:
+        state.recv = recv
+        if state.eager:
+            if state.arrived:
+                self._deliver(state)
+            # else: flow-completion callback delivers.
+        else:
+            # Rendezvous: transfer starts now that both sides are present.
+            flow = self.world.fabric.transfer(
+                state.src,
+                state.dst,
+                state.nbytes,
+                extra_latency=self.world.params.rendezvous_extra,
+            )
+            flow.add_callback(lambda _ev, s=state: self._rendezvous_done(s))
+
+    def _eager_arrived(self, state: _SendState) -> None:
+        state.arrived = True
+        if state.recv is not None:
+            self._deliver(state)
+
+    def _rendezvous_done(self, state: _SendState) -> None:
+        state.request.done.succeed(None)
+        self._deliver(state)
+
+    def _deliver(self, state: _SendState) -> None:
+        recv = state.recv
+        assert recv is not None
+        recv.set_result(state.data)
+        recv.done.succeed(state.data)
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def pending_counts(self) -> tuple[int, int]:
+        """(unmatched sends, unmatched recvs) — for deadlock diagnostics."""
+        ns = sum(len(q) for q in self._send_q.values())
+        nr = sum(len(q) for q in self._recv_q.values())
+        return ns, nr

@@ -1,0 +1,181 @@
+"""The simulated MPI job: engine + cluster + fabric + transport + programs.
+
+:class:`World` wires every layer together and owns ``comm_world``.  Rank
+programs are generator functions of one argument, the :class:`RankEnv`::
+
+    world = World(block_placement(8, ppn=2))
+
+    def program(env):
+        comm = env.view(world.comm_world)
+        data = np.arange(4.0) if comm.rank == 0 else np.zeros(4)
+        yield from comm.bcast(data, root=0)
+        return data.sum()
+
+    world.spawn_all(program)
+    elapsed = world.run()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+import numpy as np
+
+from repro.mpi.comm import Comm, CommView
+from repro.mpi.progress import ProgressEngine
+from repro.mpi.transport import Transport
+from repro.netmodel.fabric import Fabric
+from repro.netmodel.params import MachineParams, NetworkParams
+from repro.netmodel.topology import Cluster
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Delay, SimProcess
+from repro.sim.trace import SpanKind, Trace
+
+
+class World:
+    """One simulated distributed-memory job."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        params: NetworkParams | None = None,
+        machine: MachineParams | None = None,
+        trace: bool = False,
+    ):
+        self.cluster = cluster
+        self.params = params or NetworkParams()
+        self.machine = machine or MachineParams()
+        self.engine = Engine()
+        self.trace = Trace(enabled=trace)
+        self.fabric = Fabric(self.engine, cluster, self.params,
+                             self.trace if trace else None)
+        self.transport = Transport(self)
+        self._cid = 0
+        self._progress = [
+            ProgressEngine(self.engine, r, self.trace if trace else None)
+            for r in range(cluster.num_ranks)
+        ]
+        # Per-rank achieved GEMM rate: node throughput shared by co-resident
+        # processes (the paper's per-process effect of raising PPN).
+        self._flop_rate = [
+            self.machine.process_flops(cluster.ppn_of_node(cluster.node_of(r)))
+            for r in range(cluster.num_ranks)
+        ]
+        self.comm_world = Comm(self, range(cluster.num_ranks), name="world")
+        self._procs: list[SimProcess] = []
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        return self.cluster.num_ranks
+
+    def _next_cid(self) -> int:
+        self._cid += 1
+        return self._cid
+
+    def progress_of(self, global_rank: int) -> ProgressEngine:
+        return self._progress[global_rank]
+
+    def flop_rate_of(self, global_rank: int) -> float:
+        return self._flop_rate[global_rank]
+
+    def new_comm(self, ranks, name: str = "comm") -> Comm:
+        """Create a communicator over ``ranks`` (global ids)."""
+        return Comm(self, ranks, name)
+
+    # -- running ---------------------------------------------------------------------
+
+    def spawn(self, rank: int, gen: Generator, name: str | None = None) -> SimProcess:
+        """Register one rank's program generator."""
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} outside world")
+        proc = SimProcess(self.engine, gen, name or f"rank{rank}")
+        self._procs.append(proc)
+        return proc
+
+    def spawn_all(
+        self, program: Callable[["RankEnv"], Generator], ranks=None
+    ) -> list[SimProcess]:
+        """Instantiate ``program(env)`` on every rank (or the given subset)."""
+        ranks = range(self.num_ranks) if ranks is None else ranks
+        return [self.spawn(r, program(RankEnv(self, r))) for r in ranks]
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the simulation to completion; returns elapsed virtual time.
+
+        Raises :class:`SimulationError` with matching diagnostics if any
+        spawned program never finishes (communication deadlock).
+        """
+        t = self.engine.run(until=until)
+        if until is None:
+            stuck = [p.name for p in self._procs if not p.done.fired]
+            if stuck:
+                ns, nr = self.transport.pending_counts()
+                raise SimulationError(
+                    f"deadlock: {stuck} never finished "
+                    f"(unmatched sends={ns}, unmatched recvs={nr})"
+                )
+        return t
+
+    def results(self) -> list:
+        """Return values of all spawned programs, in spawn order."""
+        return [p.done.value for p in self._procs]
+
+
+class RankEnv:
+    """Per-rank execution context handed to program generators."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+
+    @property
+    def now(self) -> float:
+        return self.world.engine.now
+
+    def view(self, comm: Comm) -> CommView:
+        """This rank's API handle on ``comm`` (must be a member)."""
+        return comm.view(self.rank)
+
+    def in_comm(self, comm: Comm) -> bool:
+        return comm.contains(self.rank)
+
+    def compute(self, seconds: float, label: str = "compute"):
+        """Generator: occupy this rank's CPU for ``seconds`` (traced)."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds}")
+        t0 = self.now
+        if seconds > 0:
+            yield Delay(seconds)
+        self.world.trace.add(self.rank, t0, self.now, SpanKind.COMPUTE, label)
+
+    def compute_flops(self, flops: float, label: str = "gemm"):
+        """Generator: charge ``flops`` at this rank's achieved GEMM rate."""
+        if flops < 0:
+            raise ValueError(f"negative flops {flops}")
+        rate = self.world.flop_rate_of(self.rank)
+        yield from self.compute(flops / rate, label)
+
+    def gemm(self, a: np.ndarray | None, b: np.ndarray | None, m: int, k: int, n: int,
+             accumulate: np.ndarray | None = None, label: str = "gemm"):
+        """Generator: local matrix multiply with modeled time charge.
+
+        Real mode (arrays given): computes ``a @ b`` (optionally accumulated
+        into ``accumulate``) and returns the product; modeled mode (``a`` or
+        ``b`` None): returns None.  Either way charges ``2*m*k*n`` flops.
+        """
+        yield from self.compute_flops(2.0 * m * k * n, label)
+        if a is None or b is None:
+            return None
+        c = a @ b
+        if accumulate is not None:
+            accumulate += c
+            return accumulate
+        return c
+
+    def sleep(self, seconds: float):
+        """Generator: idle (not CPU-busy — equivalent for timing) for ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"negative sleep {seconds}")
+        yield Delay(seconds)

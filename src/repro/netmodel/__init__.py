@@ -1,0 +1,48 @@
+"""Deterministic network model of a Stampede2-like cluster.
+
+The model is a *fluid-flow* abstraction calibrated against the paper's
+measurements (Figs. 3, 5, 6):
+
+* every node has a full-duplex NIC of capacity ``B_nic`` (default 12 GB/s,
+  the paper's measured Omni-Path peak);
+* a single message of size ``n`` can sustain at most ``flow_cap(n) =
+  B_nic * n / (n + n_half)`` — a single stream only approaches the NIC peak
+  for multi-megabyte messages, exactly the phenomenon Fig. 3 documents and
+  the paper calls "the root motivation for overlapping communication";
+* concurrent flows sharing a NIC direction split its capacity equally
+  (non-work-conserving equal share: bandwidth freed by a stalled operation
+  cannot push another flow beyond its own ``flow_cap``);
+* each message additionally pays a latency ``alpha`` before bytes flow, and
+  large messages pay a rendezvous handshake;
+* intra-node traffic uses a separate shared-memory path per node.
+
+The :class:`~repro.netmodel.fabric.Fabric` integrates these rules with the
+discrete-event engine; :mod:`repro.netmodel.analytic` holds the closed-form
+alpha-beta collective models the paper uses in §V-A and Table IV.
+"""
+
+from repro.netmodel.params import NetworkParams, MachineParams
+from repro.netmodel.topology import Cluster, block_placement, split_placement
+from repro.netmodel.fabric import Fabric, Flow
+from repro.netmodel.analytic import (
+    t_point_to_point,
+    t_bcast_scatter_allgather,
+    t_reduce_rabenseifner,
+    effective_p2p_bandwidth,
+    collective_volume_long_message,
+)
+
+__all__ = [
+    "NetworkParams",
+    "MachineParams",
+    "Cluster",
+    "block_placement",
+    "split_placement",
+    "Fabric",
+    "Flow",
+    "t_point_to_point",
+    "t_bcast_scatter_allgather",
+    "t_reduce_rabenseifner",
+    "effective_p2p_bandwidth",
+    "collective_volume_long_message",
+]

@@ -1,0 +1,101 @@
+"""Closed-form alpha-beta models used by the paper's analysis (§V-A, Table IV).
+
+The paper models the time to send an ``n``-byte message as ``alpha + n*beta``
+and assumes recursive doubling for broadcast and Rabenseifner's algorithm for
+reduction, giving::
+
+    T_bcast  = alpha * (log2(p) + p - 1) + 2 * beta * (p - 1) * n / p
+    T_reduce = 2 * alpha * log2(p)       + 2 * beta * (p - 1) * n / p
+
+These functions regenerate the §V-A numbers (T_p2p = 2.324 ms etc. for
+n = 27.89 MB, p = 4, beta = 1/12000 MB/s) and the "estimated" columns of
+Table IV.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.netmodel.params import NetworkParams
+from repro.util import check_positive
+
+
+def t_point_to_point(nbytes: float, alpha: float, beta: float) -> float:
+    """``alpha + n*beta`` — the paper's point-to-point model."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    return alpha + nbytes * beta
+
+
+def t_bcast_scatter_allgather(
+    nbytes: float, p: int, alpha: float, beta: float
+) -> float:
+    """Long-message broadcast model (recursive-doubling / scatter-allgather).
+
+    ``alpha*(log2(p) + p - 1) + 2*beta*(p-1)*n/p`` — §V-A of the paper.
+    """
+    check_positive("p", p)
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if p == 1:
+        return 0.0
+    return alpha * (math.log2(p) + p - 1) + 2.0 * beta * (p - 1) * nbytes / p
+
+
+def t_reduce_rabenseifner(nbytes: float, p: int, alpha: float, beta: float) -> float:
+    """Long-message reduction model (Rabenseifner).
+
+    ``2*alpha*log2(p) + 2*beta*(p-1)*n/p`` — §V-A of the paper (compute term
+    omitted, as in the paper).
+    """
+    check_positive("p", p)
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    if p == 1:
+        return 0.0
+    return 2.0 * alpha * math.log2(p) + 2.0 * beta * (p - 1) * nbytes / p
+
+
+def collective_volume_long_message(nbytes: float, p: int) -> float:
+    """Per-process communicated volume ``2*(p-1)*n/p`` of the long-message
+    broadcast/reduction algorithms (used to convert times to the bandwidths
+    plotted in Fig. 5)."""
+    check_positive("p", p)
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    return 2.0 * (p - 1) * nbytes / p
+
+
+def effective_p2p_bandwidth(nbytes: float, params: NetworkParams) -> float:
+    """Model-predicted single-flow bandwidth ``n / (overheads + n/flow_cap(n))``.
+
+    This is the smooth curve behind the simulated Fig. 3 PPN=1 series; tests
+    compare the simulation against it.
+    """
+    if nbytes <= 0:
+        return 0.0
+    p = params
+    overhead = p.send_overhead + p.recv_overhead + p.alpha
+    if nbytes > p.rendezvous_threshold:
+        overhead += p.rendezvous_extra
+    return nbytes / (overhead + nbytes / p.flow_cap(nbytes))
+
+
+def baseline_ssc_comm_time_model(
+    block_bytes: float, p: int, alpha: float, beta: float
+) -> dict:
+    """§V-A composite model of the baseline SymmSquareCube communication time.
+
+    ``T = 2*(T_p2p + T_reduce) + 3*T_bcast`` with the paper's collective
+    models.  Returns the individual terms too, so the §V-A experiment can
+    print the same breakdown as the paper (T_p2p = 2.324e-3 etc.).
+    """
+    t_p2p = t_point_to_point(block_bytes, alpha, beta)
+    t_bc = t_bcast_scatter_allgather(block_bytes, p, alpha, beta)
+    t_rd = t_reduce_rabenseifner(block_bytes, p, alpha, beta)
+    return {
+        "T_p2p": t_p2p,
+        "T_bcast": t_bc,
+        "T_reduce": t_rd,
+        "T_baseline": 2.0 * (t_p2p + t_rd) + 3.0 * t_bc,
+    }

@@ -1,0 +1,162 @@
+"""Calibration constants for the simulated cluster.
+
+Every constant is traceable to a number in the paper (Huang & Chow,
+IPDPS 2019) or to a standard property of the Stampede2 Skylake partition the
+paper used.  The defaults are chosen so the micro-benchmarks in
+``repro.bench`` reproduce the *shape* of Figs. 3, 5, 6 and the paper's §V-A
+analysis; they are plain dataclass fields, so every experiment (and the
+ablation benchmarks) can perturb them.
+
+Calibration notes
+-----------------
+``nic_bandwidth``
+    Fig. 3: "the peak unidirectional bandwidth is about 12000 MB/s".
+``process_injection_bandwidth``
+    §III-B: "a single MPI process on a node cannot saturate that node's
+    available network bandwidth" — all concurrent flows *sourced by one
+    process* share this cap (single-core packet/doorbell processing), so
+    multiple PPN raises achievable node throughput toward the NIC peak
+    even for multi-MB messages.  This is the mechanism behind the large
+    multiple-PPN gains of Tables III-V.
+``flow_half_size``
+    Fig. 3: a single process only attains the peak for >= 16 MB messages.
+    With ``flow_cap(n) = B_nic * n / (n + n_half)`` and ``n_half = 256 KiB``
+    a 16 MiB flow reaches 98.5% of peak, a 1 MiB flow 80%, a 64 KiB flow 20%.
+``alpha``
+    Omni-Path MPI latency is ~1-2 us for small messages; we use 1.5 us.
+``ireduce_post_per_byte``
+    Fig. 6 (top): posting MPI_Ireduce took 265-357 us for 2 MB and 1139 us
+    for 8 MB -> ~135 us per MiB ~= 1/(7.8 GB/s).  This is the data
+    marshalling / first-combine staging cost charged on the calling CPU.
+``ibcast_post_seconds``
+    Fig. 6 (bottom): posting MPI_Ibcast usually takes "very little time"
+    (1-2 us).
+``combine_bandwidth``
+    Fig. 5 / Table IV: blocking reduce bandwidth saturates near 2.4 GB/s at
+    PPN=1, far below the bcast bandwidth; the gap is the single-threaded
+    per-byte summation inside the reduction (~1.8 GB/s of produced output
+    for a memory-bound scalar loop on one Skylake core reproduces that).
+``round_copy_bandwidth``
+    Collective implementations stage received data through internal buffers
+    each round (pack/unpack); ~12 GB/s single-core memcpy.  Together with
+    the round gap this brings the blocking broadcast to the ~8.5 GB/s the
+    paper measures (Fig. 5 / Table IV) instead of the NIC's 12 GB/s.
+``blocking_round_gap``
+    Blocking collectives synchronize at every internal round (a process
+    cannot pre-post the next round's transfers); nonblocking schedules are
+    driven by the progress engine and chain rounds without this gap.  This
+    reproduces Fig. 6's observation that four overlapped Ibcasts beat four
+    per-process blocking bcasts (4-PPN) of the same total volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util import GB, KIB, MB, check_nonnegative, check_positive
+
+
+@dataclass
+class NetworkParams:
+    """Tunable constants of the network/communication model (all SI units)."""
+
+    # --- NIC / link ---------------------------------------------------------
+    nic_bandwidth: float = 12_000 * MB        # full-duplex per direction [B/s]
+    process_injection_bandwidth: float = 10_500 * MB  # per-process cap [B/s]
+    flow_half_size: float = 256 * KIB         # n_half in flow_cap(n) [B]
+    alpha: float = 1.5e-6                     # per-message network latency [s]
+    rendezvous_threshold: int = 64 * KIB      # eager/rendezvous switch [B]
+    rendezvous_extra: float = 3.0e-6          # RTS/CTS handshake cost [s]
+
+    # --- intra-node shared-memory path --------------------------------------
+    shm_bandwidth: float = 40_000 * MB        # aggregate per node [B/s]
+    shm_flow_cap: float = 16_000 * MB         # single-copy engine limit [B/s]
+    shm_alpha: float = 0.4e-6                 # shm message latency [s]
+
+    # --- CPU-side overheads --------------------------------------------------
+    send_overhead: float = 0.5e-6             # o_send per posted message [s]
+    recv_overhead: float = 0.5e-6             # o_recv per posted receive [s]
+    eager_copy_bandwidth: float = 8_000 * MB  # eager buffer copy rate [B/s]
+    ibcast_post_seconds: float = 1.5e-6       # constant Ibcast posting cost [s]
+    ireduce_post_base: float = 5.0e-6         # Ireduce posting, constant part [s]
+    ireduce_post_per_byte: float = 1.0 / (7_800 * MB)  # marshalling [s/B]
+    combine_bandwidth: float = 1_800 * MB     # reduction combine rate [B/s]
+    round_copy_bandwidth: float = 12_000 * MB  # per-round staging copy [B/s]
+
+    # --- collective behaviour -------------------------------------------------
+    blocking_round_gap: float = 25.0e-6       # per-round sync gap, blocking [s]
+    long_message_threshold: int = 16 * KIB    # binomial vs long-message algos
+
+    def __post_init__(self) -> None:
+        check_positive("nic_bandwidth", self.nic_bandwidth)
+        check_positive("process_injection_bandwidth", self.process_injection_bandwidth)
+        check_positive("flow_half_size", self.flow_half_size)
+        check_nonnegative("alpha", self.alpha)
+        check_nonnegative("rendezvous_extra", self.rendezvous_extra)
+        check_positive("shm_bandwidth", self.shm_bandwidth)
+        check_positive("shm_flow_cap", self.shm_flow_cap)
+        check_nonnegative("shm_alpha", self.shm_alpha)
+        check_nonnegative("send_overhead", self.send_overhead)
+        check_nonnegative("recv_overhead", self.recv_overhead)
+        check_positive("eager_copy_bandwidth", self.eager_copy_bandwidth)
+        check_nonnegative("ibcast_post_seconds", self.ibcast_post_seconds)
+        check_nonnegative("ireduce_post_base", self.ireduce_post_base)
+        check_nonnegative("ireduce_post_per_byte", self.ireduce_post_per_byte)
+        check_positive("combine_bandwidth", self.combine_bandwidth)
+        check_positive("round_copy_bandwidth", self.round_copy_bandwidth)
+        check_nonnegative("blocking_round_gap", self.blocking_round_gap)
+        if self.rendezvous_threshold < 0:
+            raise ValueError("rendezvous_threshold must be >= 0")
+
+    # -- derived quantities ----------------------------------------------------
+
+    def flow_cap(self, nbytes: float) -> float:
+        """Maximum sustained rate of a single message of ``nbytes`` [B/s].
+
+        ``B_nic * n / (n + n_half)``: small messages cannot keep the wire
+        full (protocol round-trips, packetization, single-core packet
+        processing), which is what Fig. 3 measures.
+        """
+        if nbytes <= 0:
+            return self.nic_bandwidth
+        return self.nic_bandwidth * nbytes / (nbytes + self.flow_half_size)
+
+    def shm_cap(self, nbytes: float) -> float:
+        """Single intra-node message rate cap [B/s]."""
+        if nbytes <= 0:
+            return self.shm_flow_cap
+        return self.shm_flow_cap * nbytes / (nbytes + self.flow_half_size / 4)
+
+    def beta(self) -> float:
+        """Transfer seconds per byte at peak NIC bandwidth (paper's beta)."""
+        return 1.0 / self.nic_bandwidth
+
+    def replace(self, **kw) -> "NetworkParams":
+        """Return a copy with some fields overridden (ablation helper)."""
+        return replace(self, **kw)
+
+
+@dataclass
+class MachineParams:
+    """Per-node compute constants (Stampede2 Skylake-like)."""
+
+    # 2x Xeon 8160: nominal DP peak ~3.1 TF/s; the paper's DGEMM timings
+    # (0.01794 s for 2 multiplies of 1912^3 blocks across 64 nodes) imply
+    # ~1.56 TF/s of *achieved* node throughput inside this kernel, so we use
+    # an achieved rate, not the nominal peak.
+    node_flops: float = 1.56e12               # achieved DGEMM flops/s/node
+    cores_per_node: int = 48
+    node_memory_bytes: int = 192 * 2**30
+
+    def __post_init__(self) -> None:
+        check_positive("node_flops", self.node_flops)
+        check_positive("cores_per_node", self.cores_per_node)
+
+    def process_flops(self, ppn: int) -> float:
+        """Achieved GEMM rate of one process when ``ppn`` processes share a node."""
+        check_positive("ppn", ppn)
+        return self.node_flops / ppn
+
+    def replace(self, **kw) -> "MachineParams":
+        """Return a copy with some fields overridden (ablation helper)."""
+        return replace(self, **kw)

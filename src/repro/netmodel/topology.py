@@ -1,0 +1,97 @@
+"""Cluster topology: nodes and the placement of ranks onto nodes.
+
+The paper's experiments vary *processes per node* (PPN) while holding the
+node pool fixed, using the "natural" placement: consecutive MPI ranks share a
+node.  :func:`block_placement` builds exactly that map; :func:`split_placement`
+puts sources and sinks on distinct nodes for the Fig. 3 micro-benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.util import check_positive
+
+
+class Cluster:
+    """An immutable rank -> node map plus node metadata.
+
+    ``placement[i]`` is the node index hosting global rank ``i``.  Node
+    indices must be dense (0..num_nodes-1 all used or at least bounded by
+    ``num_nodes``).
+    """
+
+    def __init__(self, placement: Sequence[int], num_nodes: int | None = None):
+        if not placement:
+            raise ValueError("cluster needs at least one rank")
+        self._placement = tuple(int(x) for x in placement)
+        if min(self._placement) < 0:
+            raise ValueError("node indices must be >= 0")
+        inferred = max(self._placement) + 1
+        self.num_nodes = int(num_nodes) if num_nodes is not None else inferred
+        if self.num_nodes < inferred:
+            raise ValueError(
+                f"num_nodes={num_nodes} but placement references node {inferred - 1}"
+            )
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self._placement)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        return self._placement[rank]
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All ranks placed on ``node`` (ascending)."""
+        return [r for r, n in enumerate(self._placement) if n == node]
+
+    def ppn_of_node(self, node: int) -> int:
+        """Number of ranks on ``node``."""
+        return sum(1 for n in self._placement if n == node)
+
+    def max_ppn(self) -> int:
+        """Largest PPN over all occupied nodes."""
+        counts: dict[int, int] = {}
+        for n in self._placement:
+            counts[n] = counts.get(n, 0) + 1
+        return max(counts.values())
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True if ranks ``a`` and ``b`` share a node (shared-memory path)."""
+        return self._placement[a] == self._placement[b]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Cluster ranks={self.num_ranks} nodes={self.num_nodes}>"
+
+
+def block_placement(num_ranks: int, ppn: int) -> Cluster:
+    """The paper's "natural" placement: ranks ``[k*ppn, (k+1)*ppn)`` on node ``k``.
+
+    Matches §V-D: "the MPI ranks on a node are numbered consecutively"; the
+    number of nodes is ``ceil(num_ranks / ppn)`` (the paper's "total nodes"
+    column in Table III).
+    """
+    check_positive("num_ranks", num_ranks)
+    check_positive("ppn", ppn)
+    placement = [r // ppn for r in range(num_ranks)]
+    return Cluster(placement, num_nodes=math.ceil(num_ranks / ppn))
+
+
+def split_placement(num_pairs: int) -> Cluster:
+    """Fig.-3 micro-benchmark placement: ranks 0..k-1 on node 0, k..2k-1 on node 1.
+
+    "We put all source processes on one node and all destination processes
+    on a second node."
+    """
+    check_positive("num_pairs", num_pairs)
+    placement = [0] * num_pairs + [1] * num_pairs
+    return Cluster(placement, num_nodes=2)
+
+
+def round_robin_placement(num_ranks: int, num_nodes: int) -> Cluster:
+    """Cyclic placement (rank r on node r % num_nodes); used by ablations."""
+    check_positive("num_ranks", num_ranks)
+    check_positive("num_nodes", num_nodes)
+    return Cluster([r % num_nodes for r in range(num_ranks)], num_nodes=num_nodes)

@@ -1,0 +1,22 @@
+"""Force-decomposition particle simulation — the paper's §VI first outlook.
+
+"In distributed particle simulations, the forces between a set of particles
+can be arranged in a matrix that is partitioned using a 2D partitioning.
+This leads to algorithms that use collective communication along processor
+rows and columns of a processor mesh" (paper §VI, citing Plimpton's force
+decomposition).
+
+:mod:`repro.particles.forcedecomp` implements exactly that kernel on the
+simulated substrate — gather the needed position blocks along mesh rows and
+columns, evaluate the force-matrix block, reduce partial forces along rows —
+in a plain blocking form and in a pipelined nonblocking-overlap form that
+applies the paper's N_DUP technique to the allgather -> reduce chain.
+"""
+
+from repro.particles.forcedecomp import (
+    run_force_step,
+    ForceStepResult,
+    pairwise_forces_dense,
+)
+
+__all__ = ["run_force_step", "ForceStepResult", "pairwise_forces_dense"]

@@ -1,0 +1,42 @@
+"""Density-matrix purification — the application driving SymmSquareCube.
+
+In Hartree-Fock / DFT, the density matrix ``D`` is the spectral projector
+onto the lowest ``n_occ`` eigenvectors of the Fock matrix ``F``.  Instead of
+an eigendecomposition, *purification* iterates polynomial maps whose fixed
+points are idempotent matrices with the right trace:
+
+* **canonical purification** (Palser & Manolopoulos 1998) — the variant the
+  paper's experiments use; every step needs ``D^2`` *and* ``D^3``, which is
+  exactly what SymmSquareCube computes;
+* **McWeeny purification** — the classic ``D <- 3 D^2 - 2 D^3`` refinement
+  the paper's introduction cites.
+
+:mod:`repro.purify.fock` builds synthetic symmetric "Fock" matrices with the
+paper's matrix dimensions (5330 / 6895 / 7645 for 1hsg_45/60/70) — the
+substitution for the proprietary GTFock integrals, which the paper itself
+notes are "immaterial ... except for the dimension of the density matrices".
+"""
+
+from repro.purify.fock import synthetic_fock, density_from_eigh, SYSTEMS
+from repro.purify.canonical import (
+    canonical_initial_guess,
+    canonical_purify_dense,
+    run_distributed_purification,
+    PurificationResult,
+)
+from repro.purify.mcweeny import mcweeny_purify_dense, mcweeny_step
+from repro.purify.scf import run_scf, SCFResult
+
+__all__ = [
+    "synthetic_fock",
+    "density_from_eigh",
+    "SYSTEMS",
+    "canonical_initial_guess",
+    "canonical_purify_dense",
+    "run_distributed_purification",
+    "PurificationResult",
+    "mcweeny_purify_dense",
+    "mcweeny_step",
+    "run_scf",
+    "SCFResult",
+]

@@ -1,0 +1,76 @@
+"""Synthetic Fock/Hamiltonian matrices standing in for the GTFock test systems.
+
+The paper evaluates on three protein-fragment systems whose only property
+that matters here is the basis dimension (§V-A: "Details of the molecular
+systems ... are immaterial to this paper except for the dimension of the
+density matrices"):
+
+=========  ==========  =============
+system     dimension   paper tables
+=========  ==========  =============
+1hsg_45    5330        I, II
+1hsg_60    6895        I, II
+1hsg_70    7645        I-V
+=========  ==========  =============
+
+:func:`synthetic_fock` builds a dense symmetric matrix with a molecular-like
+spectrum: a band of doubly-occupied-orbital energies, a HOMO-LUMO gap, and a
+virtual-orbital tail.  The gap makes purification converge the way it does
+for real Hartree-Fock Fock matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import check_positive
+
+#: The paper's molecular systems: name -> (matrix dimension, suggested n_occ).
+SYSTEMS: dict[str, tuple[int, int]] = {
+    "1hsg_45": (5330, 1480),
+    "1hsg_60": (6895, 1905),
+    "1hsg_70": (7645, 2110),
+}
+
+
+def synthetic_fock(
+    n: int,
+    n_occ: int,
+    *,
+    seed: int = 0,
+    gap: float = 0.3,
+    occ_width: float = 2.0,
+    virt_width: float = 8.0,
+) -> np.ndarray:
+    """A dense symmetric matrix with a molecular-like spectrum.
+
+    ``n_occ`` eigenvalues are spread over ``[-occ_width - gap/2, -gap/2]``
+    (occupied band) and the rest over ``[gap/2, gap/2 + virt_width]``
+    (virtual band), separated by a HOMO-LUMO ``gap``; the eigenbasis is a
+    Haar-random orthogonal matrix.  Deterministic in ``seed``.
+    """
+    check_positive("n", n)
+    if not 0 < n_occ < n:
+        raise ValueError(f"need 0 < n_occ < n, got n_occ={n_occ}, n={n}")
+    check_positive("gap", gap)
+    rng = np.random.default_rng(seed)
+    occ = -gap / 2.0 - occ_width * np.sort(rng.random(n_occ))[::-1]
+    virt = gap / 2.0 + virt_width * np.sort(rng.random(n - n_occ))
+    eigs = np.concatenate([occ, virt])
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    return (q * eigs) @ q.T
+
+
+def density_from_eigh(f: np.ndarray, n_occ: int) -> np.ndarray:
+    """Reference density matrix: projector onto the ``n_occ`` lowest eigenvectors.
+
+    This is the eigendecomposition route purification replaces (the paper's
+    introduction); tests compare purification output against it.
+    """
+    if f.ndim != 2 or f.shape[0] != f.shape[1]:
+        raise ValueError(f"expected square matrix, got {f.shape}")
+    if not 0 < n_occ <= f.shape[0]:
+        raise ValueError(f"bad n_occ={n_occ} for n={f.shape[0]}")
+    _w, v = np.linalg.eigh(f)
+    occ = v[:, :n_occ]
+    return occ @ occ.T

@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation core.
+
+The simulator executes *simulated processes* (Python generators) against a
+single global virtual clock.  Processes yield *syscalls* — :class:`Delay`,
+:class:`WaitEvent`, :class:`AnyOf`, :class:`AllOf` — and are resumed by the
+:class:`Engine` when the corresponding virtual-time event fires.  All
+higher layers (the network fabric, the MPI substrate, the dense-matrix
+kernels) are written as generator coroutines on top of this engine.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotone sequence number breaks ties), so every simulation run is
+exactly reproducible.
+"""
+
+from repro.sim.engine import Engine, SimEvent, SimulationError
+from repro.sim.process import (
+    SimProcess,
+    Delay,
+    WaitEvent,
+    AnyOf,
+    AllOf,
+    Interrupt,
+)
+from repro.sim.trace import Trace, TraceRecord, SpanKind
+
+__all__ = [
+    "Engine",
+    "SimEvent",
+    "SimulationError",
+    "SimProcess",
+    "Delay",
+    "WaitEvent",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Trace",
+    "TraceRecord",
+    "SpanKind",
+]

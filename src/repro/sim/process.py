@@ -1,0 +1,196 @@
+"""Generator-coroutine processes and the syscalls they may yield.
+
+A simulated process is an ordinary Python generator.  It communicates with
+the engine by *yielding syscall objects*:
+
+``Delay(dt)``
+    The process's (single) CPU is busy/blocked for ``dt`` virtual seconds.
+``WaitEvent(ev)`` or a bare :class:`~repro.sim.engine.SimEvent`
+    Suspend until the event fires; the event's value is sent back into the
+    generator as the result of the ``yield``.
+``AllOf([ev, ...])``
+    Suspend until every listed event has fired; returns their values.
+``AnyOf([ev, ...])``
+    Suspend until the first fires; returns ``(index, value)``.
+
+Sub-operations (e.g. an MPI broadcast) are written as generators too and
+invoked with ``yield from``, returning results via ``return``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from typing import Any
+
+from repro.sim.engine import Engine, SimEvent, SimulationError
+
+
+class Delay:
+    """Syscall: occupy the process for ``dt`` seconds of virtual time."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt}")
+        self.dt = dt
+
+
+class WaitEvent:
+    """Syscall: suspend until ``event`` fires; yields the event's value."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent):
+        self.event = event
+
+
+class AllOf:
+    """Syscall: suspend until all events fire; yields the list of values."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Sequence[SimEvent]):
+        self.events = list(events)
+
+
+class AnyOf:
+    """Syscall: suspend until any event fires; yields ``(index, value)``."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Sequence[SimEvent]):
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`SimProcess.interrupt`."""
+
+
+class SimProcess:
+    """Drives one generator coroutine against the engine.
+
+    The process starts automatically at the current virtual time.  Its
+    :attr:`done` event fires with the generator's return value when it
+    finishes.  Errors raised inside the generator are re-raised out of
+    :meth:`Engine.run`, wrapped in :class:`SimulationError` naming the
+    process.
+    """
+
+    def __init__(self, engine: Engine, gen: Generator, name: str = "proc"):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done: SimEvent = engine.event(f"{name}.done")
+        self._waiting_any: list[SimEvent] | None = None
+        engine.call_after(0.0, lambda: self._step(None))
+
+    # -- engine interaction -------------------------------------------------
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            syscall = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Interrupt:
+            self.done.succeed(None)
+            return
+        except Exception as exc:  # surface with process context
+            raise SimulationError(f"process {self.name!r} failed: {exc!r}") from exc
+        self._dispatch(syscall)
+
+    def _throw(self, exc: BaseException) -> None:
+        try:
+            syscall = self.gen.throw(exc)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        except Interrupt:
+            self.done.succeed(None)
+            return
+        except Exception as err:
+            raise SimulationError(f"process {self.name!r} failed: {err!r}") from err
+        self._dispatch(syscall)
+
+    def _dispatch(self, syscall: Any) -> None:
+        if isinstance(syscall, Delay):
+            self.engine.call_after(syscall.dt, lambda: self._step(None))
+        elif isinstance(syscall, WaitEvent):
+            syscall.event.add_callback(lambda ev: self._step(ev.value))
+        elif isinstance(syscall, SimEvent):
+            syscall.add_callback(lambda ev: self._step(ev.value))
+        elif isinstance(syscall, AllOf):
+            self._wait_all(syscall.events)
+        elif isinstance(syscall, AnyOf):
+            self._wait_any(syscall.events)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded invalid syscall {syscall!r}"
+            )
+
+    def _wait_all(self, events: list[SimEvent]) -> None:
+        if not events:
+            self.engine.call_after(0.0, lambda: self._step([]))
+            return
+        remaining = {"n": len(events)}
+
+        def on_fire(_ev: SimEvent) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._step([e.value for e in events])
+
+        for ev in events:
+            ev.add_callback(on_fire)
+
+    def _wait_any(self, events: list[SimEvent]) -> None:
+        resumed = {"done": False}
+
+        def make_cb(idx: int):
+            def on_fire(ev: SimEvent) -> None:
+                if not resumed["done"]:
+                    resumed["done"] = True
+                    self._step((idx, ev.value))
+
+            return on_fire
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+
+    # -- public control -----------------------------------------------------
+
+    def interrupt(self) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Only meaningful for processes currently suspended on a syscall; the
+        process may catch the interrupt to clean up, otherwise it terminates.
+        """
+        if self.done.fired:
+            return
+        self.engine.call_after(0.0, lambda: self._maybe_throw())
+
+    def _maybe_throw(self) -> None:
+        if not self.done.fired:
+            self._throw(Interrupt())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done.fired else "running"
+        return f"<SimProcess {self.name!r} {state}>"
+
+
+def run_processes(gens: Sequence[tuple[str, Generator]], *, engine: Engine | None = None) -> tuple[float, list[Any]]:
+    """Convenience: run named generators to completion; return (time, results).
+
+    Used heavily by the tests: ``run_processes([("r0", gen0), ("r1", gen1)])``
+    creates the engine, drives everything, and returns the final virtual time
+    together with each generator's return value (in input order).
+    """
+    eng = engine or Engine()
+    procs = [SimProcess(eng, g, name=n) for n, g in gens]
+    eng.run()
+    unfinished = [p.name for p in procs if not p.done.fired]
+    if unfinished:
+        raise SimulationError(f"deadlock: processes never finished: {unfinished}")
+    return eng.now, [p.done.value for p in procs]

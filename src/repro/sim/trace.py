@@ -1,0 +1,112 @@
+"""Timeline tracing: records per-rank activity spans for Fig.-6-style diagrams.
+
+Every MPI-layer operation records spans (post / wait / compute / transfer)
+tagged with the owning rank.  The benchmark for the paper's Fig. 6 replays
+these spans to print the posting-vs-wait breakdown of nonblocking collectives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SpanKind(enum.Enum):
+    """Category of a traced activity span."""
+
+    POST = "post"          # CPU time spent inside a (nonblocking) MPI call
+    WAIT = "wait"          # blocked in MPI_Wait / blocking call completion
+    COMPUTE = "compute"    # local computation (GEMM, reduction combine)
+    TRANSFER = "transfer"  # network flow active (recorded per flow)
+    MISC = "misc"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One half-open activity interval ``[t0, t1)`` on a rank."""
+
+    rank: int
+    t0: float
+    t1: float
+    kind: SpanKind
+    label: str
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class Trace:
+    """Collects :class:`TraceRecord` spans; optionally disabled for speed.
+
+    A disabled trace turns :meth:`add` into a no-op so the large benchmark
+    sweeps pay nothing for instrumentation.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def add(
+        self,
+        rank: int,
+        t0: float,
+        t1: float,
+        kind: SpanKind,
+        label: str,
+        **meta,
+    ) -> None:
+        """Record a span; ``t1`` must be >= ``t0``."""
+        if not self.enabled:
+            return
+        if t1 < t0:
+            raise ValueError(f"span ends before it starts: [{t0}, {t1})")
+        self.records.append(TraceRecord(rank, t0, t1, kind, label, meta))
+
+    def for_rank(self, rank: int) -> list[TraceRecord]:
+        """All spans on one rank, ordered by start time."""
+        return sorted(
+            (r for r in self.records if r.rank == rank), key=lambda r: (r.t0, r.t1)
+        )
+
+    def by_label(self, label_prefix: str) -> list[TraceRecord]:
+        """All spans whose label starts with ``label_prefix``."""
+        return [r for r in self.records if r.label.startswith(label_prefix)]
+
+    def total(self, rank: int, kind: SpanKind) -> float:
+        """Sum of span durations of one kind on one rank."""
+        return sum(r.duration for r in self.records if r.rank == rank and r.kind == kind)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def render_gantt(self, ranks: list[int] | None = None, width: int = 72) -> str:
+        """ASCII Gantt rendering of the recorded spans (one line per span).
+
+        Spans are scaled to ``width`` characters over the full trace horizon.
+        Used by the Fig. 6 experiment to print a textual time diagram.
+        """
+        recs = self.records if ranks is None else [r for r in self.records if r.rank in ranks]
+        if not recs:
+            return "(empty trace)\n"
+        t_min = min(r.t0 for r in recs)
+        t_max = max(r.t1 for r in recs)
+        span = max(t_max - t_min, 1e-30)
+        lines = []
+        glyph = {
+            SpanKind.POST: "#",
+            SpanKind.WAIT: ".",
+            SpanKind.COMPUTE: "*",
+            SpanKind.TRANSFER: "=",
+            SpanKind.MISC: "-",
+        }
+        for r in sorted(recs, key=lambda r: (r.rank, r.t0, r.t1)):
+            a = int((r.t0 - t_min) / span * width)
+            b = max(a + 1, int((r.t1 - t_min) / span * width))
+            bar = " " * a + glyph[r.kind] * (b - a)
+            lines.append(
+                f"r{r.rank:<3d} {bar.ljust(width)} {r.kind.value:<8s} "
+                f"{r.label} [{(r.t1 - r.t0) * 1e6:.0f}us]"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,28 @@
+"""Iterative solvers with overlapped reductions — the paper's §VI outlook.
+
+The conclusions of the paper name "block iterative linear solvers, where
+reductions (vector norms and dot products) involving large numbers of nodes
+are the bottleneck" as the next target for communication-communication
+overlap.  This package implements that study on the simulated substrate:
+
+* :func:`repro.solvers.cg.run_cg` — distributed conjugate gradient on a 1D
+  Laplacian with halo exchanges, in two variants:
+
+  - ``classic``: textbook CG with two blocking scalar allreduces per
+    iteration (two global synchronization points);
+  - ``pipelined``: the Ghysels-Vanroose rearrangement with a single
+    *nonblocking* merged allreduce per iteration, overlapped with the halo
+    exchange and the local stencil work — communications overlapping other
+    communications, exactly the paper's idea applied to a solver.
+
+* :func:`repro.solvers.block_cg.run_block_cg` — the *block* variant the
+  paper's wording singles out (``s`` right-hand sides, ``s x s`` Gram
+  reductions): O'Leary block CG classic vs a pipelined rearrangement whose
+  four Gram products ride one merged nonblocking reduction per iteration.
+"""
+
+from repro.solvers.cg import run_cg, CGResult, laplacian_1d_matvec_dense
+from repro.solvers.block_cg import run_block_cg, BlockCGResult
+
+__all__ = ["run_cg", "CGResult", "laplacian_1d_matvec_dense",
+           "run_block_cg", "BlockCGResult"]

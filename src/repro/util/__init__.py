@@ -1,0 +1,51 @@
+"""Small shared utilities: units, formatting, tables, argument validation.
+
+These helpers are intentionally dependency-free (numpy only) so that every
+layer of the library — the discrete-event simulator, the network model, the
+MPI substrate and the benchmarks — can use them without import cycles.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    KIB,
+    MIB,
+    GIB,
+    parse_size,
+    format_size,
+    format_time,
+    format_bandwidth,
+)
+from repro.util.tables import Table, format_series
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_type,
+    is_power_of_two,
+    int_cbrt,
+    int_sqrt,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "parse_size",
+    "format_size",
+    "format_time",
+    "format_bandwidth",
+    "Table",
+    "format_series",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_type",
+    "is_power_of_two",
+    "int_cbrt",
+    "int_sqrt",
+]

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark experiments print rows in the same layout as the paper's
+tables; this module provides the shared monospace rendering plus CSV export
+so results can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["System", "TFlops"], title="Demo")
+    >>> t.add_row(["1hsg_45", 12.36])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str | None = None):
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; floats are rendered with 4 significant digits."""
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        """Render to an aligned monospace string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        sep = "-+-".join("-" * w for w in widths)
+        out.write(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)) + "\n")
+        out.write(sep + "\n")
+        for row in self.rows:
+            out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render as CSV (comma-separated, no quoting of numeric cells)."""
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(cell.replace(",", ";") for cell in row))
+        return "\n".join(lines) + "\n"
+
+    def column(self, name: str) -> list[str]:
+        """Return the rendered cells of one column by header name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def format_series(xs: Sequence[Any], ys: Sequence[Any], *, xlabel: str, ylabel: str) -> str:
+    """Render paired series (a 'figure' in text form) as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    t = Table([xlabel, ylabel])
+    for x, y in zip(xs, ys):
+        t.add_row([x, y])
+    return t.render()

@@ -1,0 +1,94 @@
+"""Byte-size and time units plus human-readable formatting.
+
+The paper mixes decimal units for bandwidth ("12000 MB/s") with binary units
+for message sizes ("16 KB", "27.89 MB" = 1912^2 * 8 bytes).  We follow the
+same convention: *sizes* are plain byte counts, *bandwidths* are reported in
+decimal MB/s (1 MB = 1e6 bytes) exactly as in the paper's figures, and the
+binary constants are available for configuring workloads.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Decimal units (used for bandwidth, matching the paper's MB/s axis).
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+# Binary units (used for message-size sweeps, matching the paper's x-axes).
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]*\.?[0-9]+)\s*(b|kb|kib|mb|mib|gb|gib)?\s*$", re.IGNORECASE
+)
+
+_SIZE_FACTORS = {
+    None: 1,
+    "b": 1,
+    "kb": KB,
+    "kib": KIB,
+    "mb": MB,
+    "mib": MIB,
+    "gb": GB,
+    "gib": GIB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string like ``"16 KiB"`` or ``"8MB"`` into bytes.
+
+    Integers and floats pass through (rounded to an int byte count).
+
+    >>> parse_size("16 KiB")
+    16384
+    >>> parse_size("2MB")
+    2000000
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be nonnegative, got {text!r}")
+        return int(round(text))
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    value = float(m.group(1))
+    unit = m.group(2).lower() if m.group(2) else None
+    return int(round(value * _SIZE_FACTORS[unit]))
+
+
+def format_size(nbytes: float, *, binary: bool = True) -> str:
+    """Render a byte count for tables, e.g. ``format_size(8*MIB) == '8.0 MiB'``."""
+    if nbytes < 0:
+        raise ValueError(f"size must be nonnegative, got {nbytes!r}")
+    if binary:
+        steps = [("GiB", GIB), ("MiB", MIB), ("KiB", KIB)]
+    else:
+        steps = [("GB", GB), ("MB", MB), ("KB", KB)]
+    for name, factor in steps:
+        if nbytes >= factor:
+            return f"{nbytes / factor:.1f} {name}"
+    return f"{int(nbytes)} B"
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with an appropriate unit (s / ms / us / ns)."""
+    a = abs(seconds)
+    if a >= 1.0 or a == 0.0:
+        return f"{seconds:.3f} s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.1f} us"
+    return f"{seconds * 1e9:.0f} ns"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth in the paper's decimal MB/s convention."""
+    if bytes_per_second >= GB:
+        return f"{bytes_per_second / GB:.2f} GB/s"
+    return f"{bytes_per_second / MB:.1f} MB/s"

@@ -1,0 +1,60 @@
+"""Argument validation helpers and small integer math used across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``; return the value."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Raise ``TypeError`` unless ``isinstance(value, types)``; return the value."""
+    if not isinstance(value, types):
+        raise TypeError(f"{name} must be {types}, got {type(value).__name__}")
+    return value
+
+
+def is_power_of_two(n: int) -> bool:
+    """True iff ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def int_sqrt(n: int) -> int:
+    """Exact integer square root; raises if ``n`` is not a perfect square."""
+    if n < 0:
+        raise ValueError(f"cannot take sqrt of negative {n}")
+    r = math.isqrt(n)
+    if r * r != n:
+        raise ValueError(f"{n} is not a perfect square")
+    return r
+
+
+def int_cbrt(n: int) -> int:
+    """Exact integer cube root; raises if ``n`` is not a perfect cube."""
+    if n < 0:
+        raise ValueError(f"cannot take cbrt of negative {n}")
+    r = round(n ** (1.0 / 3.0))
+    for cand in (r - 1, r, r + 1):
+        if cand >= 0 and cand**3 == n:
+            return cand
+    raise ValueError(f"{n} is not a perfect cube")

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi.world import RankEnv, World
+from repro.netmodel import NetworkParams, block_placement
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_world(num_ranks: int, ppn: int = 1, **kw) -> World:
+    """A world with the standard placement used across the tests."""
+    return World(block_placement(num_ranks, ppn), **kw)
+
+
+def run_program(world: World, program, ranks=None):
+    """Spawn ``program(env)`` on the ranks, run to completion, return results."""
+    world.spawn_all(program, ranks=ranks)
+    elapsed = world.run()
+    return elapsed, world.results()
+
+
+def symmetric(rng, n: int) -> np.ndarray:
+    """A random dense symmetric matrix."""
+    m = rng.standard_normal((n, n))
+    return (m + m.T) / 2.0
+
+
+@pytest.fixture
+def fast_params():
+    """Network parameters with overheads zeroed — for pure-semantics tests."""
+    return NetworkParams(
+        alpha=0.0,
+        shm_alpha=0.0,
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        ibcast_post_seconds=0.0,
+        ireduce_post_base=0.0,
+        ireduce_post_per_byte=0.0,
+        rendezvous_extra=0.0,
+        blocking_round_gap=0.0,
+    )

@@ -1,0 +1,123 @@
+"""Tests for the experiment registry, runner and CLI."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import (
+    EXPERIMENTS,
+    ExperimentOutput,
+    load_experiment,
+    run_experiment,
+)
+from repro.util import Table
+
+
+class TestRegistry:
+    def test_all_experiments_importable(self):
+        for name in EXPERIMENTS:
+            mod = load_experiment(name)
+            assert callable(mod.run)
+            assert callable(mod.check)
+
+    def test_every_paper_artifact_covered(self):
+        for key in ("fig3", "fig5", "fig6", "table1", "table2", "table3",
+                    "table4", "table5", "secva"):
+            assert key in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            load_experiment("table99")
+
+
+class TestQuickRuns:
+    """Quick-mode runs of the cheap experiments, with their checks."""
+
+    @pytest.mark.parametrize("name", ["fig3", "secva", "table4",
+                                      "ablation-network"])
+    def test_quick_run_and_render(self, name):
+        out = run_experiment(name, quick=True)
+        assert isinstance(out, ExperimentOutput)
+        assert out.tables and all(isinstance(t, Table) for t in out.tables)
+        text = out.render()
+        assert name in text
+        assert len(text.splitlines()) > 3
+
+    def test_fig6_quick_check_passes(self):
+        out = run_experiment("fig6", quick=True)
+        load_experiment("fig6").check(out)
+
+    def test_table1_quick(self):
+        out = run_experiment("table1", quick=True)
+        # Quick mode restricts to 1hsg_70; the speedup band still holds.
+        t3, t4, t5 = out.values["1hsg_70"]
+        assert t5 > 1.1 * t4 >= 1.1 * 0.98 * t3
+
+
+class TestExperimentOutput:
+    def test_render_includes_notes(self):
+        t = Table(["a"])
+        t.add_row([1])
+        out = ExperimentOutput(name="x", tables=[t], notes="important note")
+        assert "important note" in out.render()
+
+    def test_values_dict_roundtrip(self):
+        out = ExperimentOutput(name="x", values={"k": 1})
+        assert out.values["k"] == 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        captured = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in captured
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_unknown_experiment_error(self, capsys):
+        assert main(["not-a-thing"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_quick_with_check(self, capsys):
+        rc = main(["secva", "--quick", "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "qualitative checks PASSED" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        rc = main(["secva", "--quick", "--csv", str(tmp_path)])
+        assert rc == 0
+        files = list(tmp_path.glob("secva_*.csv"))
+        assert files
+        assert "Quantity" in files[0].read_text()
+
+
+class TestExtensionExperiments:
+    """Quick-mode runs of the extension/ablation experiments."""
+
+    @pytest.mark.parametrize("name", ["alg12", "ext-cg", "ext-md",
+                                      "ablation-multithread"])
+    def test_quick_run_and_check(self, name):
+        out = run_experiment(name, quick=True)
+        load_experiment(name).check(out)
+        assert out.tables
+
+    def test_registry_complete(self):
+        for key in ("alg12", "ext-cg", "ext-md", "ablation-collectives",
+                    "ablation-multithread", "ablation-placement",
+                    "ablation-network"):
+            assert key in EXPERIMENTS
+
+
+class TestAsciiRendering:
+    def test_fig5_ascii(self, capsys):
+        rc = main(["fig5", "--quick", "--ascii"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "blocking" in out
+
+    def test_non_bandwidth_experiment_no_chart(self, capsys):
+        rc = main(["secva", "--quick", "--ascii"])
+        assert rc == 0

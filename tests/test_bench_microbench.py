@@ -1,0 +1,136 @@
+"""Tests for the micro-benchmark measurement programs."""
+
+import pytest
+
+from repro.bench.microbench import (
+    CollectiveMeasurement,
+    collective_bandwidth,
+    collective_timing_detail,
+    p2p_bandwidth,
+)
+from repro.netmodel import NetworkParams
+from repro.util import KIB, MB, MIB
+
+
+class TestP2PBandwidth:
+    def test_monotone_in_message_size(self):
+        bws = [p2p_bandwidth(s, 1) for s in (1 * KIB, 64 * KIB, 1 * MIB, 16 * MIB)]
+        assert bws == sorted(bws)
+
+    def test_ppn_scaling_small_messages(self):
+        """Small messages: aggregate bandwidth scales nearly linearly in PPN."""
+        n = 4 * KIB
+        bw1 = p2p_bandwidth(n, 1)
+        bw4 = p2p_bandwidth(n, 4)
+        assert 3.0 < bw4 / bw1 <= 4.01
+
+    def test_ppn_saturates_nic_large_messages(self):
+        n = 16 * MIB
+        assert p2p_bandwidth(n, 4) >= 0.95 * 12_000 * MB
+
+    def test_single_process_injection_limited(self):
+        """PPN=1 cannot reach the NIC peak even for huge messages (§III-B)."""
+        p = NetworkParams()
+        bw = p2p_bandwidth(64 * MIB, 1)
+        assert bw <= p.process_injection_bandwidth * 1.001
+        assert bw < 0.95 * p.nic_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            p2p_bandwidth(0, 1)
+        with pytest.raises(ValueError):
+            p2p_bandwidth(100, 0)
+
+
+class TestCollectiveBandwidth:
+    def test_all_cases_all_ops_run(self):
+        for op in ("bcast", "reduce"):
+            for case in ("blocking", "nonblocking", "ppn"):
+                m = collective_bandwidth(op, case, 1 * MIB)
+                assert isinstance(m, CollectiveMeasurement)
+                assert m.elapsed > 0 and m.bandwidth > 0
+
+    def test_bandwidth_uses_paper_volume_convention(self):
+        m = collective_bandwidth("bcast", "blocking", 4 * MIB)
+        assert m.bandwidth == pytest.approx(
+            2 * 3 * 4 * MIB / 4 / m.elapsed
+        )
+
+    def test_reduce_slower_than_bcast_blocking(self):
+        mb = collective_bandwidth("bcast", "blocking", 8 * MIB)
+        mr = collective_bandwidth("reduce", "blocking", 8 * MIB)
+        assert mr.bandwidth < mb.bandwidth
+
+    def test_overlap_cases_beat_blocking_large(self):
+        n = 8 * MIB
+        for op in ("bcast", "reduce"):
+            b = collective_bandwidth(op, "blocking", n).bandwidth
+            for case in ("nonblocking", "ppn"):
+                assert collective_bandwidth(op, case, n).bandwidth > b
+
+    def test_unknown_args_rejected(self):
+        with pytest.raises(ValueError):
+            collective_bandwidth("gather", "blocking", 1024)
+        with pytest.raises(ValueError):
+            collective_bandwidth("bcast", "magic", 1024)
+        with pytest.raises(ValueError):
+            collective_bandwidth("bcast", "blocking", 0)
+
+
+class TestTimingDetail:
+    def test_blocking_detail(self):
+        out = collective_timing_detail("reduce", "blocking", 2 * MIB, n_dup=1)
+        assert len(out) == 1
+        assert out[0].wait == 0.0 and out[0].post == out[0].total
+
+    def test_nonblocking_detail_counts(self):
+        out = collective_timing_detail("reduce", "nonblocking", 8 * MIB, n_dup=4)
+        assert len(out) == 4
+        # Posting costs are serialized, completions near-simultaneous.
+        finishes = [d.total for d in out]
+        assert max(finishes) - min(finishes) < 0.5 * max(finishes)
+
+    def test_ppn_detail_counts(self):
+        out = collective_timing_detail("bcast", "ppn", 8 * MIB, n_dup=4)
+        assert len(out) == 4  # one per node-0 process
+
+    def test_ireduce_post_exceeds_ibcast_post(self):
+        red = collective_timing_detail("reduce", "nonblocking", 8 * MIB, n_dup=1)
+        bc = collective_timing_detail("bcast", "nonblocking", 8 * MIB, n_dup=1)
+        assert red[0].post > 10 * bc[0].post
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            collective_timing_detail("allgather", "blocking", 1024)
+        with pytest.raises(ValueError):
+            collective_timing_detail("bcast", "nope", 1024)
+
+
+class TestMultithreadCase:
+    """The §I remark: thread-based overlap trails both chosen techniques."""
+
+    def test_multithread_beats_blocking_large(self):
+        n = 8 * MIB
+        for op in ("bcast", "reduce"):
+            mt = collective_bandwidth(op, "multithread", n).bandwidth
+            bl = collective_bandwidth(op, "blocking", n).bandwidth
+            assert mt > bl
+
+    def test_multithread_loses_to_best_overlap(self):
+        for n in (16 * KIB, 8 * MIB):
+            for op in ("bcast", "reduce"):
+                mt = collective_bandwidth(op, "multithread", n).bandwidth
+                best = max(
+                    collective_bandwidth(op, "nonblocking", n).bandwidth,
+                    collective_bandwidth(op, "ppn", n).bandwidth,
+                )
+                assert mt < best, (op, n)
+
+    def test_small_message_penalty_pronounced(self):
+        """'particularly for message sizes less than 64K' (paper §I)."""
+        small, large = 16 * KIB, 8 * MIB
+        def rel(op, n):
+            mt = collective_bandwidth(op, "multithread", n).bandwidth
+            nb = collective_bandwidth(op, "ppn", n).bandwidth
+            return mt / nb
+        assert rel("bcast", small) < rel("bcast", large)

@@ -1,0 +1,35 @@
+"""Tests for the combined-report generator and its CLI path."""
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.report import generate_report
+
+
+class TestGenerateReport:
+    def test_quick_report_structure(self):
+        md, failures = generate_report(["secva", "fig6"], quick=True)
+        assert failures == []
+        assert md.startswith("# Reproduction report")
+        assert "## secva" in md and "## fig6" in md
+        assert "| secva |" in md and "PASS" in md
+        assert "```" in md  # tables fenced
+
+    def test_check_can_be_disabled(self):
+        md, failures = generate_report(["secva"], quick=True, check=False)
+        assert failures == []
+        assert "—" in md
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(["nope"], quick=True)
+
+
+class TestReportCLI:
+    def test_cli_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "out.md"
+        rc = main(["secva", "--quick", "--report", str(target)])
+        assert rc == 0
+        text = target.read_text()
+        assert "## secva" in text
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Buffer-handling semantics across the whole CommView API surface."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import World
+from repro.netmodel import block_placement
+
+from tests.conftest import make_world, run_program
+
+
+class TestResolveBuf:
+    def test_missing_buffer_and_nbytes_rejected(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            with pytest.raises(ValueError, match="nbytes"):
+                yield from comm.bcast(root=0)
+            return True
+        _, res = run_program(world, program)
+        assert all(res)
+
+    def test_negative_nbytes_rejected(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            with pytest.raises(ValueError):
+                yield from comm.reduce(nbytes=-1, root=0)
+            return True
+        _, res = run_program(world, program)
+        assert all(res)
+
+    def test_zero_nbytes_collectives_complete(self):
+        world = make_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            yield from comm.bcast(nbytes=0, root=0)
+            yield from comm.reduce(nbytes=0, root=0)
+            yield from comm.allreduce(nbytes=0)
+            return env.now
+        _, res = run_program(world, program)
+        assert all(t >= 0 for t in res)
+
+    def test_list_buffer_coerced_to_array(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if comm.rank == 0:
+                buf = np.array([1.0, 2.0, 3.0])
+            else:
+                buf = np.zeros(3)
+            out = yield from comm.bcast(buf, root=0)
+            assert isinstance(out, np.ndarray)
+            return out.sum()
+        _, res = run_program(world, program)
+        assert res == [6.0, 6.0]
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int64,
+                                       np.complex128])
+    def test_reduce_supports_numeric_dtypes(self, dtype):
+        world = make_world(3)
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = np.full(2500, 2, dtype=dtype)
+            out = yield from comm.allreduce(buf)
+            assert out.dtype == dtype
+            assert np.all(out == 6)
+        run_program(world, program)
+
+    def test_dtype_size_drives_message_size(self):
+        """float32 buffers move half the bytes of float64 buffers."""
+        def bytes_for(dtype):
+            world = make_world(2)
+            def program(env):
+                comm = env.view(world.comm_world)
+                buf = (np.ones(40_000, dtype=dtype) if comm.rank == 0
+                       else np.zeros(40_000, dtype=dtype))
+                yield from comm.bcast(buf, root=0)
+            run_program(world, program)
+            return world.fabric.inter_node_bytes
+        assert bytes_for(np.float64) == 2 * bytes_for(np.float32)
+
+
+class TestSelfAndSingleton:
+    def test_singleton_comm_collectives_trivial(self):
+        world = make_world(1)
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = np.arange(5.0)
+            out = yield from comm.bcast(buf, root=0)
+            assert np.array_equal(out, np.arange(5.0))
+            red = yield from comm.reduce(buf, root=0)
+            assert np.array_equal(red, buf)
+            ar = yield from comm.allreduce(buf)
+            assert np.array_equal(ar, buf)
+            yield from comm.barrier()
+            return env.now
+        _, (t,) = run_program(world, program)
+        assert t < 1e-4  # a few call overheads, no transfers
+
+    def test_sub_comm_of_world(self):
+        world = make_world(6)
+        sub = world.new_comm([1, 3, 5])
+        def program(env):
+            if not sub.contains(env.rank):
+                return None
+            comm = env.view(sub)
+            out = yield from comm.allreduce(np.full(3000, float(comm.rank)))
+            assert np.allclose(out, 0 + 1 + 2)
+            return comm.rank
+        _, res = run_program(world, program)
+        assert res == [None, 0, None, 1, None, 2]
+
+
+class TestRootVariants:
+    @pytest.mark.parametrize("op", ["bcast", "reduce"])
+    def test_all_roots_in_sequence(self, op):
+        """Cycling the root through every rank on one communicator works."""
+        world = make_world(5)
+        def program(env):
+            comm = env.view(world.comm_world)
+            for root in range(5):
+                if op == "bcast":
+                    buf = (np.full(3000, float(root)) if comm.rank == root
+                           else np.zeros(3000))
+                    yield from comm.bcast(buf, root=root)
+                    assert np.all(buf == root)
+                else:
+                    out = yield from comm.reduce(np.ones(3000), root=root)
+                    if comm.rank == root:
+                        assert np.all(out == 5.0)
+        run_program(world, program)
+
+    def test_interleaved_ops_many_comms(self):
+        """A stress mix: p2p + collectives on several comms at once."""
+        world = make_world(4)
+        a = world.comm_world.dup()
+        b = world.comm_world.dup()
+        def program(env):
+            va, vb = env.view(a), env.view(b)
+            r1 = yield from va.ibcast(nbytes=200_000, root=0)
+            r2 = yield from vb.ireduce(nbytes=200_000, root=3)
+            peer = (env.rank + 1) % 4
+            s = yield from va.isend(peer, data=env.rank, nbytes=100, tag=5)
+            r = yield from va.irecv((env.rank - 1) % 4, tag=5)
+            got = yield from r.wait()
+            assert got == (env.rank - 1) % 4
+            yield from s.wait()
+            yield from r1.wait()
+            yield from r2.wait()
+            yield from va.barrier()
+        run_program(world, program)

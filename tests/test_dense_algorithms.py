@@ -1,0 +1,108 @@
+"""Correctness tests for the distributed dense algorithms vs numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dense import run_matvec, run_mm25d, run_summa
+
+from tests.conftest import symmetric
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    @pytest.mark.parametrize("overlapped,n_dup", [(False, 1), (True, 2), (True, 4)])
+    def test_matches_numpy(self, rng, p, overlapped, n_dup):
+        n = 53
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        res = run_matvec(p, n, a, x, overlapped=overlapped, n_dup=n_dup)
+        assert np.allclose(res.y, a @ x)
+
+    def test_alg1_and_alg2_agree(self, rng):
+        n, p = 40, 4
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        y1 = run_matvec(p, n, a, x, overlapped=False).y
+        y2 = run_matvec(p, n, a, x, overlapped=True, n_dup=3).y
+        assert np.allclose(y1, y2)
+
+    def test_n_smaller_than_mesh(self, rng):
+        # Degenerate blocks (some empty) must still work.
+        n, p = 3, 4
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        res = run_matvec(p, n, a, x, overlapped=True, n_dup=2)
+        assert np.allclose(res.y, a @ x)
+
+    def test_modeled_mode_returns_time_only(self):
+        res = run_matvec(4, 100_000)
+        assert res.y is None and res.elapsed > 0
+
+    def test_requires_both_or_neither(self, rng):
+        with pytest.raises(ValueError):
+            run_matvec(2, 10, a=np.eye(10))
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(4, 64), p=st.integers(1, 4), seed=st.integers(0, 2**31))
+    def test_property_random(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        x = rng.standard_normal(n)
+        res = run_matvec(p, n, a, x, overlapped=True, n_dup=2)
+        assert np.allclose(res.y, a @ x)
+
+
+class TestSumma:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_matches_numpy(self, rng, p):
+        n = 37
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        res = run_summa(p, n, a, b)
+        assert np.allclose(res.c, a @ b)
+
+    def test_modeled_mode(self):
+        res = run_summa(2, 4096)
+        assert res.c is None and res.elapsed > 0
+
+    def test_mismatched_args(self, rng):
+        with pytest.raises(ValueError):
+            run_summa(2, 8, a=np.eye(8))
+
+
+class Test25D:
+    @pytest.mark.parametrize("q,c", [(1, 1), (2, 1), (2, 2), (3, 1), (3, 3),
+                                     (4, 2), (4, 4), (6, 2), (6, 3)])
+    def test_matches_numpy(self, rng, q, c):
+        n = 45
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        res = run_mm25d(q, c, n, a, b)
+        assert np.allclose(res.c, a @ b)
+
+    def test_c_must_divide_q(self):
+        with pytest.raises(ValueError):
+            run_mm25d(4, 3, 16)
+
+    def test_modeled_mode(self):
+        res = run_mm25d(4, 2, 4096)
+        assert res.c is None and res.elapsed > 0
+
+    def test_memory_communication_tradeoff(self):
+        """More replication (larger c) reduces 2.5D communication time."""
+        n = 200_000  # modeled; communication dominated
+        t_c1 = run_mm25d(4, 1, n).elapsed
+        t_c4 = run_mm25d(4, 4, n).elapsed
+        # Hmm: with c=4 we use 4x the processes; compare per the paper's
+        # claim qualitatively — replication should not be slower.
+        assert t_c4 <= t_c1 * 1.05
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(6, 40), seed=st.integers(0, 2**31))
+    def test_property_random(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        res = run_mm25d(4, 2, n, a, b)
+        assert np.allclose(res.c, a @ b)

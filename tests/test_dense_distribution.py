@@ -1,0 +1,120 @@
+"""Property tests for block distributions and N_DUP part splitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dense.distribution import (
+    assemble_matrix,
+    block_dim,
+    block_range,
+    block_shape,
+    part_slices,
+    partition_matrix,
+    split_parts,
+)
+
+
+class TestBlockRanges:
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(0, 10_000), p=st.integers(1, 64))
+    def test_blocks_partition_the_index_space(self, n, p):
+        """Blocks are contiguous, disjoint, ordered and cover [0, n)."""
+        prev_hi = 0
+        for i in range(p):
+            lo, hi = block_range(i, n, p)
+            assert lo == prev_hi
+            assert hi >= lo
+            prev_hi = hi
+        assert prev_hi == n
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(1, 10_000), p=st.integers(1, 64))
+    def test_block_sizes_near_equal(self, n, p):
+        dims = [block_dim(i, n, p) for i in range(p)]
+        assert max(dims) - min(dims) <= 1
+        assert sum(dims) == n
+
+    def test_block_shape(self):
+        assert block_shape(0, 2, 10, 3) == (3, 4)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            block_range(3, 10, 3)
+        with pytest.raises(ValueError):
+            block_range(0, -1, 3)
+        with pytest.raises(ValueError):
+            block_range(0, 10, 0)
+
+    def test_paper_block_size(self):
+        # §V-A: "the largest matrix block size is ceil(7645/4)^2 = 1912^2".
+        dims = [block_dim(i, 7645, 4) for i in range(4)]
+        assert max(dims) == 1912
+
+
+class TestPartitionAssemble:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 60), p=st.integers(1, 8), seed=st.integers(0, 2**31))
+    def test_roundtrip(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        blocks = partition_matrix(a, p)
+        assert len(blocks) == p * p
+        back = assemble_matrix(blocks, n, p)
+        assert np.array_equal(a, back)
+
+    def test_blocks_are_contiguous_copies(self):
+        a = np.arange(36.0).reshape(6, 6)
+        blocks = partition_matrix(a, 2)
+        blk = blocks[(0, 1)]
+        assert blk.flags["C_CONTIGUOUS"]
+        blk[0, 0] = -1  # a copy: the original must be untouched
+        assert a[0, 3] != -1
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            partition_matrix(np.zeros((3, 4)), 2)
+
+    def test_assemble_shape_mismatch_rejected(self):
+        blocks = partition_matrix(np.zeros((4, 4)), 2)
+        blocks[(0, 0)] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            assemble_matrix(blocks, 4, 2)
+
+
+class TestPartSlices:
+    @settings(max_examples=60, deadline=None)
+    @given(total=st.integers(0, 100_000), n_dup=st.integers(1, 16))
+    def test_parts_partition_contiguously(self, total, n_dup):
+        parts = part_slices(total, n_dup)
+        assert len(parts) == n_dup
+        prev = 0
+        for lo, hi in parts:
+            assert lo == prev and hi >= lo
+            prev = hi
+        assert prev == total
+
+    @settings(max_examples=40, deadline=None)
+    @given(total=st.integers(1, 100_000), n_dup=st.integers(1, 16))
+    def test_parts_near_equal(self, total, n_dup):
+        sizes = [hi - lo for lo, hi in part_slices(total, n_dup)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_parts_views(self):
+        buf = np.arange(10.0)
+        parts = split_parts(buf, 10, 3)
+        parts[0][2][0] = 99.0  # views alias the original
+        assert buf[0] == 99.0
+        assert [p[:2] for p in parts] == [(0, 3), (3, 6), (6, 10)]
+
+    def test_split_parts_modeled(self):
+        parts = split_parts(None, 100, 4)
+        assert all(v is None for _lo, _hi, v in parts)
+
+    def test_split_parts_validates(self):
+        with pytest.raises(ValueError):
+            split_parts(np.zeros(5), 6, 2)
+        with pytest.raises(ValueError):
+            part_slices(10, 0)
+        with pytest.raises(ValueError):
+            part_slices(-1, 2)

@@ -1,0 +1,120 @@
+"""Tests for 2D/3D process meshes and their communicator structure."""
+
+import pytest
+
+from repro.dense.mesh import Mesh2D, Mesh3D
+
+from tests.conftest import make_world
+
+
+class TestMesh3D:
+    def test_rank_coords_roundtrip(self):
+        world = make_world(27)
+        mesh = Mesh3D(world, 3)
+        seen = set()
+        for i in range(3):
+            for j in range(3):
+                for k in range(3):
+                    r = mesh.rank_of(i, j, k)
+                    assert mesh.coords_of(r) == (i, j, k)
+                    seen.add(r)
+        assert seen == set(range(27))
+
+    def test_natural_rank_order(self):
+        """Paper: row by row in one plane, then plane by plane."""
+        world = make_world(8)
+        mesh = Mesh3D(world, 2)
+        assert mesh.rank_of(0, 0, 0) == 0
+        assert mesh.rank_of(0, 1, 0) == 1  # next in the row
+        assert mesh.rank_of(1, 0, 0) == 2  # next row
+        assert mesh.rank_of(0, 0, 1) == 4  # next plane
+
+    def test_comm_membership_matches_paper_notation(self):
+        world = make_world(27)
+        mesh = Mesh3D(world, 3)
+        # row_comm(j, k) spans P[:, j, k]; local rank = i.
+        rc = mesh.row_comm(1, 2)
+        assert rc.ranks == tuple(mesh.rank_of(i, 1, 2) for i in range(3))
+        assert rc.local(mesh.rank_of(2, 1, 2)) == 2
+        # col_comm(i, k) spans P[i, :, k]; local rank = j.
+        cc = mesh.col_comm(0, 1)
+        assert cc.ranks == tuple(mesh.rank_of(0, j, 1) for j in range(3))
+        # grd_comm(i, j) spans P[i, j, :]; local rank = k.
+        gc = mesh.grd_comm(2, 2)
+        assert gc.ranks == tuple(mesh.rank_of(2, 2, k) for k in range(3))
+
+    def test_every_rank_in_exactly_one_comm_per_family(self):
+        world = make_world(8)
+        mesh = Mesh3D(world, 2)
+        for family, keys in (
+            ("row", [(j, k) for j in range(2) for k in range(2)]),
+            ("col", [(i, k) for i in range(2) for k in range(2)]),
+            ("grd", [(i, j) for i in range(2) for j in range(2)]),
+        ):
+            covered = []
+            for key in keys:
+                comm = getattr(mesh, f"{family}_comm")(*key)
+                covered.extend(comm.ranks)
+            assert sorted(covered) == list(range(8)), family
+
+    def test_n_dup_duplicates_distinct(self):
+        world = make_world(8)
+        mesh = Mesh3D(world, 2, n_dup=3)
+        cids = {mesh.row_comm(0, 0, c).cid for c in range(3)}
+        assert len(cids) == 3
+        groups = {mesh.row_comm(0, 0, c).ranks for c in range(3)}
+        assert len(groups) == 1  # same membership
+
+    def test_rectangular_mesh(self):
+        world = make_world(4 * 4 * 2)
+        mesh = Mesh3D(world, 4, 4, 2)
+        assert mesh.num_ranks == 32
+        assert mesh.grd_comm(0, 0).size == 2
+        assert mesh.row_comm(3, 1).size == 4
+
+    def test_too_large_rejected(self):
+        world = make_world(8)
+        with pytest.raises(ValueError):
+            Mesh3D(world, 3)
+
+    def test_bad_coords_rejected(self):
+        world = make_world(8)
+        mesh = Mesh3D(world, 2)
+        with pytest.raises(ValueError):
+            mesh.rank_of(2, 0, 0)
+        with pytest.raises(ValueError):
+            mesh.coords_of(8)
+
+
+class TestMesh2D:
+    def test_roundtrip(self):
+        world = make_world(9)
+        mesh = Mesh2D(world, 3)
+        for i in range(3):
+            for j in range(3):
+                assert mesh.coords_of(mesh.rank_of(i, j)) == (i, j)
+
+    def test_row_col_comms(self):
+        world = make_world(9)
+        mesh = Mesh2D(world, 3)
+        assert mesh.row_comm(1).ranks == (3, 4, 5)
+        assert mesh.col_comm(2).ranks == (2, 5, 8)
+        # Local ranks: row_comm local = j, col_comm local = i.
+        assert mesh.row_comm(1).local(mesh.rank_of(1, 2)) == 2
+        assert mesh.col_comm(2).local(mesh.rank_of(1, 2)) == 1
+
+    def test_n_dup(self):
+        world = make_world(4)
+        mesh = Mesh2D(world, 2, n_dup=2)
+        assert mesh.row_comm(0, 0).cid != mesh.row_comm(0, 1).cid
+
+    def test_validation(self):
+        world = make_world(3)
+        with pytest.raises(ValueError):
+            Mesh2D(world, 2)
+        world2 = make_world(4)
+        mesh = Mesh2D(world2, 2)
+        with pytest.raises(ValueError):
+            mesh.rank_of(2, 0)
+        with pytest.raises(ValueError):
+            mesh.coords_of(4)

@@ -1,0 +1,81 @@
+"""Correctness and shape tests for the standalone 3D multiplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dense import run_mm3d
+from repro.dense.mesh import Mesh3D
+from repro.kernels import run_ssc
+
+from tests.conftest import make_world, symmetric
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_matches_numpy(self, rng, p):
+        n = 41
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        res = run_mm3d(p, n, a, b)
+        assert np.allclose(res.c, a @ b), f"p={p}"
+
+    def test_nonsymmetric_inputs_fine(self, rng):
+        # Unlike SymmSquareCube, 3D MM has no symmetry requirement.
+        n = 20
+        a = np.triu(rng.standard_normal((n, n)))
+        b = np.tril(rng.standard_normal((n, n)))
+        res = run_mm3d(2, n, a, b)
+        assert np.allclose(res.c, a @ b)
+
+    def test_non_divisible_dimension(self, rng):
+        n, p = 29, 3
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        res = run_mm3d(p, n, a, b)
+        assert np.allclose(res.c, a @ b)
+
+    def test_agrees_with_ssc_square(self, rng):
+        """D @ D from the generic 3D MM equals SymmSquareCube's D^2."""
+        n = 24
+        d = symmetric(rng, n)
+        mm = run_mm3d(2, n, d, d)
+        ssc = run_ssc(2, n, "baseline", d)
+        assert np.allclose(mm.c, ssc.d2)
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(4, 40), p=st.integers(1, 3), seed=st.integers(0, 2**31))
+    def test_property_random(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        res = run_mm3d(p, n, a, b)
+        assert np.allclose(res.c, a @ b)
+
+
+class TestValidationAndTiming:
+    def test_requires_both_or_neither(self, rng):
+        with pytest.raises(ValueError):
+            run_mm3d(2, 8, a=np.eye(8))
+
+    def test_cubic_mesh_required(self):
+        from repro.dense.mm3d import mm3d_program
+        world = make_world(4 * 4 * 2)
+        mesh = Mesh3D(world, 4, 4, 2)
+        gen = mm3d_program(None, mesh, 8, None, None, False)
+        with pytest.raises(ValueError, match="cubic"):
+            next(gen)
+
+    def test_modeled_mode(self):
+        res = run_mm3d(2, 4096)
+        assert res.c is None and res.elapsed > 0
+
+    def test_3d_communicates_less_than_summa_per_process(self):
+        """§II: 3D volume O(n^2/p^2) beats 2D O(n^2/p) per process."""
+        from repro.dense import run_summa
+        n = 200_000
+        r3 = run_mm3d(4, n)       # 64 ranks
+        r2 = run_summa(8, n)      # 64 ranks
+        v3 = r3.world.fabric.inter_node_bytes / 64
+        v2 = r2.world.fabric.inter_node_bytes / 64
+        assert v3 < v2

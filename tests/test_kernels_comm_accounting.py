@@ -1,0 +1,130 @@
+"""Structural tests: the kernel's measured traffic matches its schedules.
+
+These recompute, from the collective schedule generators, exactly how many
+bytes the baseline SymmSquareCube should move, and compare against the
+fabric's flow accounting — catching any divergence between the kernel's
+communication structure and the paper's Algorithm 4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dense.distribution import block_dim
+from repro.kernels import run_ssc
+from repro.mpi.collectives.algorithms import (
+    bcast_binomial,
+    bcast_long,
+    reduce_binomial,
+    reduce_rabenseifner,
+    schedule_volume_bytes,
+)
+
+
+def _bcast(p, root, me, elems):
+    # Mirror CommView's dispatch: binomial for p <= 2, long otherwise
+    # (block messages here are megabytes, far above the threshold).
+    if p <= 2:
+        return bcast_binomial(p, root, me, elems)
+    return bcast_long(p, root, me, elems)
+
+
+def _reduce(p, root, me, elems):
+    if p <= 2:
+        return reduce_binomial(p, root, me, elems)
+    return reduce_rabenseifner(p, root, me, elems)
+
+
+def expected_baseline_volume(n: int, p: int) -> int:
+    """Total bytes sent by one baseline SymmSquareCube call (all ranks).
+
+    Mirrors Algorithm 4's phases: grid bcast of D, row bcast of D (as B^T),
+    col reduce of C -> D2, row bcast of D2, col reduce of C -> D3, and the
+    two point-to-point result transfers.  All collectives here are
+    long-message (multi-MB blocks).
+    """
+    total = 0
+    dims = [block_dim(x, n, p) for x in range(p)]
+    # Phase 1: grd_comm(i, j) broadcasts D[i,j] (root 0).
+    for i in range(p):
+        for j in range(p):
+            elems = dims[i] * dims[j]
+            for me in range(p):
+                total += schedule_volume_bytes(_bcast(p, 0, me, elems), 8)
+    # Phase 2: row_comm(j, k) broadcasts D[k,j] (root k).
+    for j in range(p):
+        for k in range(p):
+            elems = dims[k] * dims[j]
+            for me in range(p):
+                total += schedule_volume_bytes(_bcast(p, k, me, elems), 8)
+    # Phase 3: col_comm(i, k) reduces C -> D2[i,k] (root i).
+    for i in range(p):
+        for k in range(p):
+            elems = dims[i] * dims[k]
+            for me in range(p):
+                total += schedule_volume_bytes(_reduce(p, i, me, elems), 8)
+    # Phase 4: row_comm(j, k) broadcasts D2[j,k] (root j).
+    for j in range(p):
+        for k in range(p):
+            elems = dims[j] * dims[k]
+            for me in range(p):
+                total += schedule_volume_bytes(_bcast(p, j, me, elems), 8)
+    # Phase 5: col reduce C -> D3[i,k] (root k).
+    for i in range(p):
+        for k in range(p):
+            elems = dims[i] * dims[k]
+            for me in range(p):
+                total += schedule_volume_bytes(_reduce(p, k, me, elems), 8)
+    # Phase 6: D2 (i,i,k)->(i,k,0) and D3 (i,k,k)->(i,k,0), skipping
+    # self-transfers (D2: i==k==0; D3: k==0).
+    for i in range(p):
+        for k in range(p):
+            elems = dims[i] * dims[k]
+            if not (i == k == 0):
+                total += elems * 8  # D2
+            if k != 0:
+                total += elems * 8  # D3
+    return total
+
+
+class TestVolumeAccounting:
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_baseline_measured_equals_schedules(self, p):
+        n = 4096
+        r = run_ssc(p, n, "baseline", ppn=1, iterations=1)
+        stats = r.world.fabric.snapshot_stats()
+        # PPN=1: every rank on its own node -> all traffic is inter-node,
+        # except the dissemination barrier (zero bytes).
+        measured = stats["inter_node_bytes"]
+        assert measured == expected_baseline_volume(n, p)
+        assert stats["intra_node_bytes"] == 0
+
+    def test_optimized_moves_same_bytes_as_baseline(self):
+        """N_DUP splitting changes message counts, never total volume."""
+        n, p = 4096, 4
+        v1 = run_ssc(p, n, "optimized", n_dup=1).world.fabric.snapshot_stats()
+        v4 = run_ssc(p, n, "optimized", n_dup=4).world.fabric.snapshot_stats()
+        assert v1["inter_node_bytes"] == v4["inter_node_bytes"]
+        assert v4["inter_node_messages"] > v1["inter_node_messages"]
+
+    def test_original_moves_more_than_baseline(self):
+        """Algorithm 3's transpose exchange is extra traffic Alg. 4 avoids."""
+        n, p = 4096, 4
+        v3 = run_ssc(p, n, "original").world.fabric.snapshot_stats()
+        v4 = run_ssc(p, n, "baseline").world.fabric.snapshot_stats()
+        assert v3["inter_node_bytes"] > v4["inter_node_bytes"]
+
+    def test_multi_ppn_shifts_traffic_to_shm(self):
+        n, p = 4096, 4
+        r1 = run_ssc(p, n, "baseline", ppn=1).world.fabric.snapshot_stats()
+        r8 = run_ssc(p, n, "baseline", ppn=8).world.fabric.snapshot_stats()
+        assert r8["intra_node_bytes"] > 0
+        assert r8["inter_node_bytes"] < r1["inter_node_bytes"]
+        # Total moved bytes are placement-invariant.
+        assert (r8["intra_node_bytes"] + r8["inter_node_bytes"]
+                == r1["inter_node_bytes"])
+
+    def test_iterations_scale_volume_linearly(self):
+        n, p = 4096, 2
+        v1 = run_ssc(p, n, "baseline", iterations=1).world.fabric.snapshot_stats()
+        v3 = run_ssc(p, n, "baseline", iterations=3).world.fabric.snapshot_stats()
+        assert v3["inter_node_bytes"] == 3 * v1["inter_node_bytes"]

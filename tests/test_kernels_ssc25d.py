@@ -1,0 +1,81 @@
+"""Correctness tests for SymmSquareCube via 2.5D multiplication (Alg. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import run_ssc25d
+
+from tests.conftest import symmetric
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("q,c", [(1, 1), (2, 1), (2, 2), (3, 3),
+                                     (4, 2), (4, 4), (6, 2), (6, 3)])
+    def test_matches_numpy(self, rng, q, c):
+        n = 33
+        d = symmetric(rng, n)
+        out = run_ssc25d(q, c, n, d)
+        assert np.allclose(out.d2, d @ d), (q, c)
+        assert np.allclose(out.d3, d @ d @ d), (q, c)
+
+    @pytest.mark.parametrize("n_dup", [1, 2, 4])
+    def test_self_overlap_preserves_results(self, rng, n_dup):
+        n = 27
+        d = symmetric(rng, n)
+        out = run_ssc25d(4, 2, n, d, n_dup=n_dup)
+        assert np.allclose(out.d2, d @ d)
+        assert np.allclose(out.d3, d @ d @ d)
+
+    def test_agrees_with_3d_kernel(self, rng):
+        from repro.kernels import run_ssc
+        n = 30
+        d = symmetric(rng, n)
+        out3d = run_ssc(2, n, "baseline", d)
+        out25d = run_ssc25d(2, 2, n, d)
+        assert np.allclose(out3d.d2, out25d.d2)
+        assert np.allclose(out3d.d3, out25d.d3)
+
+    def test_non_divisible_dimension(self, rng):
+        n = 29  # 29 % 6 != 0
+        d = symmetric(rng, n)
+        out = run_ssc25d(6, 2, n, d)
+        assert np.allclose(out.d2, d @ d)
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(8, 36), seed=st.integers(0, 2**31))
+    def test_property_random(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = symmetric(rng, n)
+        out = run_ssc25d(4, 2, n, d, n_dup=2)
+        assert np.allclose(out.d2, d @ d)
+        assert np.allclose(out.d3, d @ d @ d)
+
+
+class TestValidation:
+    def test_c_must_divide_q(self):
+        with pytest.raises(ValueError):
+            run_ssc25d(4, 3, 16)
+
+    def test_asymmetric_rejected(self, rng):
+        d = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            run_ssc25d(2, 1, 8, d)
+
+
+class TestTimingShape:
+    def test_self_overlap_gain_is_modest(self):
+        """Paper: 'the speedup is small' for 2.5D (no cross-op pipeline)."""
+        n = 7645
+        t1 = run_ssc25d(8, 2, n, n_dup=1, ppn=2).elapsed
+        t4 = run_ssc25d(8, 2, n, n_dup=4, ppn=2).elapsed
+        assert t4 <= t1
+        assert t4 > 0.75 * t1  # modest, not the 3D kernel's large gain
+
+    def test_wide_c2_mesh_beats_small_c4_mesh(self):
+        """Paper Table V: 8x8x2 @ PPN=2 (24.39 TF) far outperforms
+        4x4x4 @ PPN=1 (10.75 TF) on the same 64 nodes."""
+        n = 7645
+        t_wide = run_ssc25d(8, 2, n, ppn=2).elapsed
+        t_small = run_ssc25d(4, 4, n, ppn=1).elapsed
+        assert t_wide < 0.8 * t_small

@@ -1,0 +1,275 @@
+"""Data-correctness tests for blocking and nonblocking collectives.
+
+These exercise the full stack (schedules -> executor -> transport -> fabric)
+with real numpy payloads and compare against exact references, across
+communicator sizes (including non-powers-of-two), roots, and message sizes
+spanning the binomial/long-message algorithm switch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import World, waitall
+from repro.netmodel import block_placement
+
+from tests.conftest import make_world, run_program
+
+# Sizes straddling the 16 KiB long-message threshold (elements of float64).
+SIZES = [1, 37, 2048, 5000]
+PS = [1, 2, 3, 4, 5, 7, 8]
+
+
+def collective_world(p, ppn=2):
+    return make_world(p, ppn=min(ppn, p))
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bcast_all_roots(self, p, n):
+        world = collective_world(p)
+        roots = sorted({0, p // 2, p - 1})
+        def program(env):
+            comm = env.view(world.comm_world)
+            for root in roots:
+                ref = np.arange(float(n)) + root
+                buf = ref.copy() if comm.rank == root else np.zeros(n)
+                yield from comm.bcast(buf, root=root)
+                assert np.array_equal(buf, ref), (p, n, root, comm.rank)
+        run_program(world, program)
+
+    def test_ibcast_returns_buffer(self):
+        world = collective_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = np.arange(100.0) if comm.rank == 2 else np.zeros(100)
+            req = yield from comm.ibcast(buf, root=2)
+            out = yield from req.wait()
+            assert out is buf
+            assert np.array_equal(buf, np.arange(100.0))
+        run_program(world, program)
+
+    def test_bcast_preserves_dtype(self):
+        world = collective_world(3)
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = (np.arange(3000, dtype=np.float32) if comm.rank == 0
+                   else np.zeros(3000, dtype=np.float32))
+            yield from comm.bcast(buf, root=0)
+            assert buf.dtype == np.float32
+            assert np.array_equal(buf, np.arange(3000, dtype=np.float32))
+        run_program(world, program)
+
+    def test_2d_buffer_rejected(self):
+        world = collective_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            with pytest.raises(ValueError):
+                yield from comm.bcast(np.zeros((3, 3)), root=0)
+            return True
+        _, res = run_program(world, program)
+        assert all(res)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce_sum_all_roots(self, p, n):
+        world = collective_world(p)
+        roots = sorted({0, p - 1})
+        def program(env):
+            comm = env.view(world.comm_world)
+            for root in roots:
+                contrib = np.arange(float(n)) * (comm.rank + 1)
+                res = yield from comm.reduce(contrib, root=root)
+                if comm.rank == root:
+                    expected = np.arange(float(n)) * (p * (p + 1) / 2)
+                    assert np.allclose(res, expected), (p, n, root)
+                else:
+                    assert res is None
+        run_program(world, program)
+
+    def test_reduce_does_not_clobber_sendbuf(self):
+        world = collective_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            mine = np.full(3000, float(comm.rank))
+            keep = mine.copy()
+            yield from comm.reduce(mine, root=0)
+            assert np.array_equal(mine, keep)
+        run_program(world, program)
+
+    def test_ireduce_result_at_root_only(self):
+        world = collective_world(5)
+        def program(env):
+            comm = env.view(world.comm_world)
+            req = yield from comm.ireduce(np.ones(4000), root=3)
+            res = yield from req.wait()
+            if comm.rank == 3:
+                assert np.allclose(res, 5.0)
+            else:
+                assert res is None
+        run_program(world, program)
+
+
+class TestAllreduceAllgather:
+    @pytest.mark.parametrize("p", PS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allreduce(self, p, n):
+        world = collective_world(p)
+        def program(env):
+            comm = env.view(world.comm_world)
+            res = yield from comm.allreduce(np.full(n, 1.0 + comm.rank))
+            assert np.allclose(res, p + p * (p - 1) / 2), (p, n)
+        run_program(world, program)
+
+    def test_iallreduce(self):
+        world = collective_world(6)
+        def program(env):
+            comm = env.view(world.comm_world)
+            req = yield from comm.iallreduce(np.arange(3000.0))
+            res = yield from req.wait()
+            assert np.allclose(res, 6 * np.arange(3000.0))
+        run_program(world, program)
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 7])
+    def test_allgather(self, p):
+        world = collective_world(p)
+        n = 1000
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = np.zeros(n)
+            lo, hi = (comm.rank * n) // p, ((comm.rank + 1) * n) // p
+            buf[lo:hi] = comm.rank + 1
+            yield from comm.allgather(buf)
+            expected = np.zeros(n)
+            for r in range(p):
+                rlo, rhi = (r * n) // p, ((r + 1) * n) // p
+                expected[rlo:rhi] = r + 1
+            assert np.array_equal(buf, expected)
+        run_program(world, program)
+
+
+class TestBarrierScatterGather:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_barrier_synchronizes(self, p):
+        world = collective_world(p)
+        after = {}
+        def program(env):
+            comm = env.view(world.comm_world)
+            yield from env.sleep(0.001 * (env.rank + 1))  # staggered arrival
+            yield from comm.barrier()
+            after[env.rank] = env.now
+        run_program(world, program)
+        # Nobody leaves the barrier before the last arrival at 1 ms * p.
+        assert min(after.values()) >= 0.001 * p
+
+    def test_ibarrier_test_semantics(self):
+        world = collective_world(3)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                req = yield from comm.ibarrier()
+                assert not req.test()  # others haven't entered yet
+                while not req.test():
+                    yield from env.sleep(1e-4)
+            else:
+                yield from env.sleep(0.002)
+                req = yield from comm.ibarrier()
+                yield from req.wait()
+        run_program(world, program)
+
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_scatter_gather_roundtrip(self, p):
+        world = collective_world(p)
+        n = p * 10
+        def program(env):
+            comm = env.view(world.comm_world)
+            send = np.arange(float(n)) if comm.rank == 1 % p else None
+            mine = yield from comm.scatter(send, nbytes=n * 8, root=1 % p)
+            out = yield from comm.gather(mine, nbytes=mine.nbytes, root=1 % p)
+            if comm.rank == 1 % p:
+                assert np.array_equal(np.concatenate(out), np.arange(float(n)))
+        run_program(world, program)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.integers(1, 9),
+        n=st.integers(1, 6000),
+        root_frac=st.floats(0, 0.999),
+        seed=st.integers(0, 2**31),
+    )
+    def test_bcast_random(self, p, n, root_frac, seed):
+        root = int(root_frac * p)
+        rng = np.random.default_rng(seed)
+        ref = rng.standard_normal(n)
+        world = collective_world(p)
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = ref.copy() if comm.rank == root else np.zeros(n)
+            yield from comm.bcast(buf, root=root)
+            assert np.array_equal(buf, ref)
+        run_program(world, program)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.integers(1, 9),
+        n=st.integers(1, 6000),
+        root_frac=st.floats(0, 0.999),
+        seed=st.integers(0, 2**31),
+    )
+    def test_reduce_random(self, p, n, root_frac, seed):
+        root = int(root_frac * p)
+        rng = np.random.default_rng(seed)
+        contribs = rng.standard_normal((p, n))
+        expected = contribs.sum(axis=0)
+        world = collective_world(p)
+        def program(env):
+            comm = env.view(world.comm_world)
+            res = yield from comm.reduce(contribs[comm.rank].copy(), root=root)
+            if comm.rank == root:
+                assert np.allclose(res, expected, atol=1e-9)
+        run_program(world, program)
+
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(1, 8), n=st.integers(1, 5000), seed=st.integers(0, 2**31))
+    def test_allreduce_random(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        contribs = rng.standard_normal((p, n))
+        expected = contribs.sum(axis=0)
+        world = collective_world(p)
+        def program(env):
+            comm = env.view(world.comm_world)
+            res = yield from comm.allreduce(contribs[comm.rank].copy())
+            assert np.allclose(res, expected, atol=1e-9)
+        run_program(world, program)
+
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(2, 6), n_dup=st.integers(1, 5), seed=st.integers(0, 2**31))
+    def test_overlapped_nbc_random(self, p, n_dup, seed):
+        """N_DUP overlapped Ibcast+Ireduce pairs all deliver correct data."""
+        rng = np.random.default_rng(seed)
+        n = 2000
+        ref = rng.standard_normal(n)
+        world = collective_world(p)
+        dups = world.comm_world.dup_many(n_dup)
+        def program(env):
+            reqs = []
+            bufs = []
+            for c, comm in enumerate(dups):
+                v = env.view(comm)
+                buf = ref.copy() if env.rank == 0 else np.zeros(n)
+                r1 = yield from v.ibcast(buf, root=0)
+                r2 = yield from v.ireduce(np.full(n, 1.0), root=0)
+                reqs += [r1, r2]
+                bufs.append(buf)
+            results = yield from waitall(reqs)
+            for buf in bufs:
+                assert np.array_equal(buf, ref)
+            if env.rank == 0:
+                for red in results[1::2]:
+                    assert np.allclose(red, float(p))
+        run_program(world, program)

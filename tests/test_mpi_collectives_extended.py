@@ -1,0 +1,149 @@
+"""Tests for the extended collective API: reduce_scatter, iallgather, alltoall."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import waitall
+
+from tests.conftest import make_world, run_program
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_segments_correct(self, p):
+        world = make_world(p, ppn=min(2, p))
+        n = p * 400
+        def program(env):
+            comm = env.view(world.comm_world)
+            seg = yield from comm.reduce_scatter(
+                np.arange(float(n)) * (comm.rank + 1)
+            )
+            lo, hi = (comm.rank * n) // p, ((comm.rank + 1) * n) // p
+            total = p * (p + 1) / 2
+            assert np.allclose(seg, np.arange(float(n))[lo:hi] * total)
+        run_program(world, program)
+
+    def test_sendbuf_not_clobbered(self):
+        world = make_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            mine = np.full(4000, float(env.rank))
+            keep = mine.copy()
+            yield from comm.reduce_scatter(mine)
+            assert np.array_equal(mine, keep)
+        run_program(world, program)
+
+    def test_nonblocking_overlap_two_reduce_scatters(self):
+        world = make_world(4)
+        dups = world.comm_world.dup_many(2)
+        def program(env):
+            reqs = []
+            for c, comm in enumerate(dups):
+                v = env.view(comm)
+                r = yield from v.ireduce_scatter(np.full(2000, float(c + 1)))
+                reqs.append(r)
+            segs = yield from waitall(reqs)
+            assert np.allclose(segs[0], 4.0)
+            assert np.allclose(segs[1], 8.0)
+        run_program(world, program)
+
+    def test_modeled_mode(self):
+        world = make_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            out = yield from comm.reduce_scatter(nbytes=1 << 20)
+            assert out is None
+        run_program(world, program)
+
+
+class TestIAllgather:
+    @pytest.mark.parametrize("p", [2, 3, 6])
+    def test_fills_all_segments(self, p):
+        world = make_world(p)
+        n = p * 300
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = np.zeros(n)
+            lo, hi = (comm.rank * n) // p, ((comm.rank + 1) * n) // p
+            buf[lo:hi] = comm.rank + 1
+            req = yield from comm.iallgather(buf)
+            yield from req.wait()
+            for r in range(p):
+                rlo, rhi = (r * n) // p, ((r + 1) * n) // p
+                assert np.all(buf[rlo:rhi] == r + 1)
+        run_program(world, program)
+
+    def test_overlaps_with_other_traffic(self):
+        """The iallgather progresses while the rank sends unrelated p2p."""
+        world = make_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            n = 4 * 50_000
+            buf = np.zeros(n)
+            lo, hi = (env.rank * n) // 4, ((env.rank + 1) * n) // 4
+            buf[lo:hi] = 1.0
+            req = yield from comm.iallgather(buf)
+            peer = (env.rank + 2) % 4
+            sreq = yield from comm.isend(peer, data=env.rank, nbytes=64, tag=9)
+            rreq = yield from comm.irecv(peer, tag=9)
+            got = yield from rreq.wait()
+            assert got == peer
+            yield from sreq.wait()
+            yield from req.wait()
+            assert np.all(buf == 1.0)
+        run_program(world, program)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_transpose_semantics(self, p):
+        world = make_world(p, ppn=min(2, p))
+        seg = 100
+        n = p * seg
+        def program(env):
+            comm = env.view(world.comm_world)
+            # buf segment s = my_rank * 1000 + s (identifiable payloads).
+            buf = np.concatenate(
+                [np.full(seg, 1000.0 * comm.rank + s) for s in range(p)]
+            )
+            yield from comm.alltoall(buf)
+            # After alltoall, segment s holds rank s's segment my_rank.
+            for s in range(p):
+                expect = 1000.0 * s + comm.rank
+                assert np.all(buf[s * seg:(s + 1) * seg] == expect), (comm.rank, s)
+        run_program(world, program)
+
+    def test_unequal_segments_rejected(self):
+        world = make_world(3)
+        def program(env):
+            comm = env.view(world.comm_world)
+            with pytest.raises(ValueError, match="equal segments"):
+                yield from comm.alltoall(np.zeros(10))
+            return True
+        _, res = run_program(world, program)
+        assert all(res)
+
+    def test_modeled_mode_runs(self):
+        world = make_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            out = yield from comm.alltoall(nbytes=4 * 8192)
+            assert out is None
+        run_program(world, program)
+
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.integers(1, 6), seg=st.integers(1, 500), seed=st.integers(0, 2**31))
+    def test_property_double_alltoall_is_identity_like(self, p, seg, seed):
+        """alltoall twice restores the original buffer (it is an involution)."""
+        rng = np.random.default_rng(seed)
+        n = p * seg
+        originals = rng.standard_normal((p, n))
+        world = make_world(p, ppn=min(2, p))
+        def program(env):
+            comm = env.view(world.comm_world)
+            buf = originals[comm.rank].copy()
+            yield from comm.alltoall(buf)
+            yield from comm.alltoall(buf)
+            assert np.allclose(buf, originals[comm.rank])
+        run_program(world, program)

@@ -1,0 +1,210 @@
+"""Timing-behaviour tests: the paper's overlap phenomena at the MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import World, waitall
+from repro.netmodel import NetworkParams, block_placement
+from repro.util import MIB
+
+from tests.conftest import make_world, run_program
+
+
+def timed_collective(world, op_gen_factory):
+    """Run op_gen_factory(env) on all ranks; return elapsed virtual time."""
+    def program(env):
+        yield from op_gen_factory(env)
+    world.spawn_all(program)
+    return world.run()
+
+
+def blocking_bcast_time(nbytes, nodes=4):
+    world = make_world(nodes, ppn=1)
+    comm = world.comm_world
+    def factory(env):
+        v = env.view(comm)
+        yield from v.bcast(nbytes=nbytes, root=0)
+    return timed_collective(world, factory)
+
+
+def overlapped_ibcast_time(nbytes, n_dup, nodes=4):
+    world = make_world(nodes, ppn=1)
+    dups = world.comm_world.dup_many(n_dup)
+    part = nbytes // n_dup
+    def factory(env):
+        reqs = []
+        for comm in dups:
+            v = env.view(comm)
+            req = yield from v.ibcast(nbytes=part, root=0)
+            reqs.append(req)
+        yield from waitall(reqs)
+    return timed_collective(world, factory)
+
+
+class TestOverlapSpeedups:
+    def test_nonblocking_overlap_accelerates_bcast(self):
+        n = 8 * MIB
+        t_block = blocking_bcast_time(n)
+        t_nbc = overlapped_ibcast_time(n, 4)
+        assert t_nbc < 0.85 * t_block
+
+    def test_more_dup_helps_until_plateau(self):
+        n = 8 * MIB
+        times = {d: overlapped_ibcast_time(n, d) for d in (1, 2, 4, 8)}
+        assert times[2] < times[1]
+        assert times[4] <= times[2]
+        # Diminishing returns, not collapse (paper §III-A on large N_DUP).
+        assert times[8] < 1.2 * times[4]
+
+    def test_overlap_of_reduce_with_bcast_pipelines(self):
+        """A reduce chained into a bcast pipelined part-wise beats sequential."""
+        n = 8 * MIB
+        nodes = 4
+
+        def sequential():
+            world = make_world(nodes, ppn=1)
+            comm = world.comm_world
+            def factory(env):
+                v = env.view(comm)
+                yield from v.reduce(nbytes=n, root=0)
+                yield from v.bcast(nbytes=n, root=0)
+            return timed_collective(world, factory)
+
+        def pipelined(n_dup=4):
+            world = make_world(nodes, ppn=1)
+            dups_r = world.comm_world.dup_many(n_dup)
+            dups_b = world.comm_world.dup_many(n_dup)
+            part = n // n_dup
+            def factory(env):
+                rreqs = []
+                for comm in dups_r:
+                    v = env.view(comm)
+                    r = yield from v.ireduce(nbytes=part, root=0)
+                    rreqs.append(r)
+                breqs = []
+                for c, comm in enumerate(dups_b):
+                    if env.rank == 0:
+                        yield from rreqs[c].wait()
+                    v = env.view(comm)
+                    b = yield from v.ibcast(nbytes=part, root=0)
+                    breqs.append(b)
+                yield from waitall(breqs + [r for r in rreqs if env.rank != 0])
+            return timed_collective(world, factory)
+
+        t_seq = sequential()
+        t_pipe = pipelined()
+        assert t_pipe < 0.9 * t_seq
+
+    def test_single_nonblocking_close_to_blocking(self):
+        """One Ibcast alone is no faster than the blocking call (Fig. 6)."""
+        n = 8 * MIB
+        t_block = blocking_bcast_time(n)
+        t_nbc1 = overlapped_ibcast_time(n, 1)
+        assert abs(t_nbc1 - t_block) < 0.25 * t_block
+
+
+class TestPostingCosts:
+    def test_ireduce_posting_scales_with_size(self):
+        params = NetworkParams()
+        world = World(block_placement(4, 1), params=params)
+        posts = {}
+        def program(env):
+            comm = env.view(world.comm_world)
+            for n in (1 * MIB, 4 * MIB):
+                t0 = env.now
+                req = yield from comm.ireduce(nbytes=n, root=0)
+                if env.rank == 0:
+                    posts[n] = env.now - t0
+                yield from req.wait()
+        run_program(world, program)
+        ratio = posts[4 * MIB] / posts[1 * MIB]
+        assert 3.0 < ratio < 5.0  # roughly linear in bytes
+
+    def test_ibcast_posting_is_cheap_and_flat(self):
+        params = NetworkParams()
+        world = World(block_placement(4, 1), params=params)
+        posts = {}
+        def program(env):
+            comm = env.view(world.comm_world)
+            for n in (1 * MIB, 8 * MIB):
+                t0 = env.now
+                req = yield from comm.ibcast(nbytes=n, root=0)
+                if env.rank == 0:
+                    posts[n] = env.now - t0
+                yield from req.wait()
+        run_program(world, program)
+        assert posts[8 * MIB] < 20e-6
+        assert posts[8 * MIB] == pytest.approx(posts[1 * MIB], rel=0.5)
+
+    def test_blocking_round_gap_slows_blocking_only(self):
+        n = 4 * MIB
+        slow = NetworkParams(blocking_round_gap=500e-6)
+        fast = NetworkParams(blocking_round_gap=0.0)
+
+        def bcast_time(params, blocking):
+            world = World(block_placement(4, 1), params=params)
+            comm = world.comm_world
+            def factory(env):
+                v = env.view(comm)
+                if blocking:
+                    yield from v.bcast(nbytes=n, root=0)
+                else:
+                    req = yield from v.ibcast(nbytes=n, root=0)
+                    yield from req.wait()
+            return timed_collective(world, factory)
+
+        assert bcast_time(slow, True) > bcast_time(fast, True) + 1e-3
+        assert bcast_time(slow, False) == pytest.approx(bcast_time(fast, False))
+
+
+class TestCombineSerialization:
+    def test_overlapped_ireduce_combines_serialize_per_process(self):
+        """Fig. 6 (top): one progress context — reduce overlap gains are
+        bounded by the serialized summation work, so 2x overlap cannot cut
+        the reduce time in half the way it nearly does for bcast."""
+        n = 8 * MIB
+        nodes = 4
+
+        def ireduce_overlap_time(n_dup):
+            world = make_world(nodes, ppn=1)
+            dups = world.comm_world.dup_many(n_dup)
+            part = n // n_dup
+            def factory(env):
+                reqs = []
+                for comm in dups:
+                    v = env.view(comm)
+                    r = yield from v.ireduce(nbytes=part, root=0)
+                    reqs.append(r)
+                yield from waitall(reqs)
+            return timed_collective(world, factory)
+
+        t1 = ireduce_overlap_time(1)
+        t4 = ireduce_overlap_time(4)
+        bcast_gain = blocking_bcast_time(n) / overlapped_ibcast_time(n, 4)
+        reduce_gain = t1 / t4
+        assert 1.0 < reduce_gain < bcast_gain
+
+    def test_ppn_overlap_beats_nonblocking_for_reduce(self):
+        """Fig. 6: four processes combine in parallel; one process serializes."""
+        n = 8 * MIB
+        # 4-PPN: 16 ranks, 4 per node, 4 column communicators.
+        world = World(block_placement(16, 4))
+        columns = [world.new_comm([node * 4 + c for node in range(4)], f"c{c}")
+                   for c in range(4)]
+        def factory(env):
+            comm = columns[env.rank % 4]
+            v = env.view(comm)
+            yield from v.reduce(nbytes=n // 4, root=0)
+        t_ppn = timed_collective(world, factory)
+
+        world2 = make_world(4, ppn=1)
+        dups = world2.comm_world.dup_many(4)
+        def factory2(env):
+            reqs = []
+            for comm in dups:
+                v = env.view(comm)
+                r = yield from v.ireduce(nbytes=n // 4, root=0)
+                reqs.append(r)
+            yield from waitall(reqs)
+        t_nbc = timed_collective(world2, factory2)
+        assert t_ppn < t_nbc

@@ -1,0 +1,138 @@
+"""Communicator semantics: groups, dup, split, isolation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Comm, World
+from repro.netmodel import block_placement
+
+from tests.conftest import make_world, run_program
+
+
+class TestGroups:
+    def test_world_comm_covers_all(self):
+        world = make_world(6)
+        assert world.comm_world.size == 6
+        assert world.comm_world.ranks == tuple(range(6))
+
+    def test_local_global_translation(self):
+        world = make_world(8)
+        c = world.new_comm([5, 2, 7])
+        assert c.local(5) == 0 and c.local(2) == 1 and c.local(7) == 2
+        assert c.contains(2) and not c.contains(0)
+        with pytest.raises(KeyError):
+            c.local(0)
+
+    def test_duplicate_ranks_rejected(self):
+        world = make_world(4)
+        with pytest.raises(ValueError):
+            world.new_comm([1, 1, 2])
+
+    def test_empty_rejected(self):
+        world = make_world(4)
+        with pytest.raises(ValueError):
+            world.new_comm([])
+
+    def test_out_of_world_rank_rejected(self):
+        world = make_world(4)
+        with pytest.raises(ValueError):
+            world.new_comm([0, 9])
+
+    def test_sub_communicator(self):
+        world = make_world(8)
+        parent = world.new_comm(range(8))
+        child = parent.sub([1, 3, 5])
+        assert child.size == 3 and child.local(3) == 1
+        with pytest.raises(ValueError):
+            parent.sub([99])
+
+
+class TestDup:
+    def test_dup_same_group_new_context(self):
+        world = make_world(4)
+        a = world.comm_world
+        b = a.dup()
+        assert a.ranks == b.ranks and a.cid != b.cid
+
+    def test_dup_many(self):
+        world = make_world(4)
+        dups = world.comm_world.dup_many(4)
+        assert len(dups) == 4
+        assert len({c.cid for c in dups}) == 4
+        with pytest.raises(ValueError):
+            world.comm_world.dup_many(0)
+
+    def test_dup_isolates_traffic(self):
+        """A message on one duplicate never matches a recv on another."""
+        world = make_world(2)
+        a = world.comm_world.dup()
+        b = world.comm_world.dup()
+        def program(env):
+            va, vb = env.view(a), env.view(b)
+            if env.rank == 0:
+                yield from va.send(1, data="on-a", nbytes=8, tag=0)
+                yield from vb.send(1, data="on-b", nbytes=8, tag=0)
+            else:
+                got_b = yield from vb.recv(0, tag=0)
+                got_a = yield from va.recv(0, tag=0)
+                assert (got_a, got_b) == ("on-a", "on-b")
+        run_program(world, program)
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        world = make_world(6)
+        colors = {g: g % 2 for g in range(6)}
+        parts = world.comm_world.split(colors)
+        assert sorted(parts) == [0, 1]
+        assert parts[0].ranks == (0, 2, 4)
+        assert parts[1].ranks == (1, 3, 5)
+
+    def test_split_undefined_excluded(self):
+        world = make_world(4)
+        parts = world.comm_world.split({0: "x", 2: "x"})
+        assert parts["x"].ranks == (0, 2)
+        assert len(parts) == 1
+
+    def test_split_preserves_parent_order(self):
+        world = make_world(4)
+        parent = world.new_comm([3, 1, 0, 2])
+        parts = parent.split({g: 0 for g in range(4)})
+        assert parts[0].ranks == (3, 1, 0, 2)
+
+
+class TestCollectiveSequencing:
+    def test_back_to_back_collectives_do_not_crosstalk(self):
+        world = make_world(4)
+        def program(env):
+            comm = env.view(world.comm_world)
+            a = np.full(10, float(env.rank))
+            r1 = yield from comm.allreduce(a)
+            r2 = yield from comm.allreduce(2 * a)
+            assert np.allclose(r1, 6.0)
+            assert np.allclose(r2, 12.0)
+        run_program(world, program)
+
+    def test_concurrent_nbc_on_distinct_dups(self):
+        world = make_world(4)
+        dups = world.comm_world.dup_many(3)
+        def program(env):
+            reqs = []
+            bufs = []
+            for c, comm in enumerate(dups):
+                v = env.view(comm)
+                buf = (np.arange(50.0) * (c + 1) if env.rank == 0 else np.zeros(50))
+                req = yield from v.ibcast(buf, root=0)
+                reqs.append(req)
+                bufs.append(buf)
+            for req in reqs:
+                yield from req.wait()
+            for c, buf in enumerate(bufs):
+                assert np.array_equal(buf, np.arange(50.0) * (c + 1))
+        run_program(world, program)
+
+    def test_view_requires_membership(self):
+        world = make_world(4)
+        c = world.new_comm([0, 1])
+        with pytest.raises(KeyError):
+            c.view(3)

@@ -1,0 +1,137 @@
+"""Focused tests for the collective schedule executor's timing mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.collectives.executor import ScheduleRunner
+from repro.mpi import World
+from repro.netmodel import NetworkParams, block_placement
+from repro.util import KIB, MIB
+
+from tests.conftest import run_program
+
+
+def make_world_with(params=None, n=2, ppn=1):
+    return World(block_placement(n, ppn), params=params)
+
+
+class TestRunnerBasics:
+    def test_empty_schedule_completes_immediately(self):
+        world = make_world_with()
+        runner = ScheduleRunner(world, world.comm_world, 0, ("c", 0), [],
+                                None, 1, blocking=True)
+        ev = runner.start()
+        assert ev.fired
+
+    def test_double_start_rejected(self):
+        world = make_world_with()
+        runner = ScheduleRunner(world, world.comm_world, 0, ("c", 0), [],
+                                None, 1, blocking=False)
+        runner.start()
+        with pytest.raises(RuntimeError):
+            runner.start()
+
+    def test_empty_rounds_are_free(self):
+        world = make_world_with()
+        sched = [[], [], []]
+        runner = ScheduleRunner(world, world.comm_world, 0, ("c", 1), sched,
+                                None, 1, blocking=True)
+        ev = runner.start()
+        world.engine.run()
+        assert ev.fired and ev.fire_time == 0.0
+
+
+class TestRoundGapPolicy:
+    def _paired_schedules(self, nbytes):
+        # Two ranks exchange `nbytes` in each of 3 rounds.
+        s0 = [[("send", 1, 0, nbytes), ("copy", 1, 0, nbytes)] for _ in range(3)]
+        s1 = [[("send", 0, 0, nbytes), ("copy", 0, 0, nbytes)] for _ in range(3)]
+        return s0, s1
+
+    def _run(self, nbytes, blocking, gap):
+        params = NetworkParams(blocking_round_gap=gap)
+        world = make_world_with(params)
+        s0, s1 = self._paired_schedules(nbytes)
+        r0 = ScheduleRunner(world, world.comm_world, 0, ("c", 0), s0, None, 1, blocking)
+        r1 = ScheduleRunner(world, world.comm_world, 1, ("c", 0), s1, None, 1, blocking)
+        e0, e1 = r0.start(), r1.start()
+        world.engine.run()
+        assert e0.fired and e1.fired
+        return world.engine.now
+
+    def test_gap_applies_to_large_blocking_rounds(self):
+        big = 1 * MIB
+        with_gap = self._run(big, blocking=True, gap=1e-3)
+        without = self._run(big, blocking=True, gap=0.0)
+        assert with_gap == pytest.approx(without + 2e-3, rel=1e-6)
+
+    def test_gap_skipped_for_eager_rounds(self):
+        small = 1 * KIB  # below the rendezvous threshold
+        with_gap = self._run(small, blocking=True, gap=1e-3)
+        without = self._run(small, blocking=True, gap=0.0)
+        assert with_gap == pytest.approx(without)
+
+    def test_gap_never_applies_to_nonblocking(self):
+        big = 1 * MIB
+        with_gap = self._run(big, blocking=False, gap=1e-3)
+        without = self._run(big, blocking=False, gap=0.0)
+        assert with_gap == pytest.approx(without)
+
+
+class TestProgressCosts:
+    def test_combine_charged_on_progress_engine(self):
+        params = NetworkParams()
+        world = make_world_with(params)
+        n = 2 * MIB
+        s0 = [[("send", 1, 0, n)]]
+        s1 = [[("add", 0, 0, n)]]
+        r0 = ScheduleRunner(world, world.comm_world, 0, ("c", 0), s0, None, 1, False)
+        r1 = ScheduleRunner(world, world.comm_world, 1, ("c", 0), s1, None, 1, False)
+        r0.start(); e1 = r1.start()
+        world.engine.run()
+        busy = world.progress_of(1).total_busy
+        assert busy == pytest.approx(n / params.combine_bandwidth)
+        assert e1.fire_time >= busy
+
+    def test_staging_copy_charged_for_copy_ops(self):
+        params = NetworkParams()
+        world = make_world_with(params)
+        n = 2 * MIB
+        s0 = [[("send", 1, 0, n)]]
+        s1 = [[("copy", 0, 0, n)]]
+        r0 = ScheduleRunner(world, world.comm_world, 0, ("c", 0), s0, None, 1, False)
+        r1 = ScheduleRunner(world, world.comm_world, 1, ("c", 0), s1, None, 1, False)
+        r0.start(); r1.start()
+        world.engine.run()
+        assert world.progress_of(1).total_busy == pytest.approx(
+            n / params.round_copy_bandwidth
+        )
+
+    def test_real_data_combine_adds(self):
+        world = make_world_with()
+        n = 5000
+        buf0 = np.full(n, 2.0)
+        buf1 = np.full(n, 1.0)
+        s0 = [[("send", 1, 0, n)]]
+        s1 = [[("add", 0, 0, n)]]
+        r0 = ScheduleRunner(world, world.comm_world, 0, ("c", 0), s0, buf0, 8, False)
+        r1 = ScheduleRunner(world, world.comm_world, 1, ("c", 0), s1, buf1, 8, False)
+        r0.start(); r1.start()
+        world.engine.run()
+        assert np.all(buf1 == 3.0)
+        assert np.all(buf0 == 2.0)  # sender unchanged
+
+    def test_send_snapshots_buffer(self):
+        """Mutating the buffer after the send round must not corrupt data."""
+        world = make_world_with()
+        n = 1000
+        buf0 = np.full(n, 7.0)
+        buf1 = np.zeros(n)
+        s0 = [[("send", 1, 0, n)]]
+        s1 = [[("copy", 0, 0, n)]]
+        r0 = ScheduleRunner(world, world.comm_world, 0, ("c", 0), s0, buf0, 8, False)
+        r1 = ScheduleRunner(world, world.comm_world, 1, ("c", 0), s1, buf1, 8, False)
+        r0.start(); r1.start()
+        buf0[:] = -1.0  # after posting, before delivery
+        world.engine.run()
+        assert np.all(buf1 == 7.0)

@@ -1,0 +1,243 @@
+"""Tests for the progress engine, request objects, and §III-B kernel gating."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.gating import gated_section
+from repro.mpi.progress import ProgressEngine
+from repro.mpi.requests import Request, waitall
+from repro.sim.engine import Engine
+
+from tests.conftest import make_world, run_program
+
+
+class TestProgressEngine:
+    def test_fifo_serialization(self):
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        done = []
+        pe.submit(1.0, "a").add_callback(lambda e: done.append(("a", eng.now)))
+        pe.submit(2.0, "b").add_callback(lambda e: done.append(("b", eng.now)))
+        eng.run()
+        assert done == [("a", 1.0), ("b", 3.0)]
+
+    def test_zero_duration_completes_immediately_when_idle(self):
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        ev = pe.submit(0.0)
+        assert ev.fired
+
+    def test_zero_duration_queues_behind_work(self):
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        pe.submit(1.0)
+        ev = pe.submit(0.0)
+        assert not ev.fired
+        eng.run()
+        assert ev.fired and ev.fire_time == 1.0
+
+    def test_idle_gap_not_billed(self):
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        pe.submit(1.0)
+        eng.run()
+        eng.call_after(5.0, lambda: pe.submit(1.0))
+        eng.run()
+        assert eng.now == 7.0  # second task ran 6.0 -> 7.0, not 1.0 -> 2.0
+        assert pe.total_busy == 2.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressEngine(Engine(), 0).submit(-1.0)
+
+    def test_idle_at(self):
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        pe.submit(2.0)
+        assert not pe.idle_at(1.0)
+        assert pe.idle_at(2.0)
+
+
+class TestRequests:
+    def test_wait_returns_result(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, data="v", nbytes=8)
+                return None
+            req = yield from comm.irecv(0)
+            out = yield from req.wait()
+            return out
+        _, results = run_program(world, program)
+        assert results[1] == "v"
+
+    def test_wait_after_completion_is_instant(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, data=1, nbytes=8)
+            else:
+                req = yield from comm.irecv(0)
+                yield from env.sleep(0.01)
+                t0 = env.now
+                yield from req.wait()
+                assert env.now == t0
+                # Double-wait is also fine and instant.
+                yield from req.wait()
+                assert env.now == t0
+        run_program(world, program)
+
+    def test_waitall_empty(self):
+        world = make_world(1)
+        def program(env):
+            out = yield from waitall([])
+            return out
+        _, results = run_program(world, program)
+        assert results == [[]]
+
+    def test_waitall_order_preserved(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                for i in range(3):
+                    yield from comm.send(1, data=i * 10, nbytes=8, tag=i)
+            else:
+                reqs = []
+                for i in (2, 0, 1):
+                    r = yield from comm.irecv(0, tag=i)
+                    reqs.append(r)
+                vals = yield from waitall(reqs)
+                assert vals == [20, 0, 10]
+        run_program(world, program)
+
+
+class TestGating:
+    def test_inactive_ranks_sleep_until_active_finish(self):
+        world = make_world(6, ppn=2)
+        comm = world.comm_world
+        wake_times = {}
+        work_done = {}
+
+        def work(env):
+            yield from env.sleep(0.05)  # the "kernel"
+            work_done[env.rank] = env.now
+            return f"result-{env.rank}"
+
+        def program(env):
+            v = env.view(comm)
+            active = env.rank < 2  # kernel runs on 2 of 6 ranks
+            res = yield from gated_section(env, v, active,
+                                           work(env) if active else None)
+            wake_times[env.rank] = env.now
+            return res
+
+        _, results = run_program(world, program)
+        assert results[0] == "result-0" and results[1] == "result-1"
+        assert all(r is None for r in results[2:])
+        # Inactive ranks woke after the kernel finished, within one poll tick.
+        finish = max(work_done.values())
+        for rank in range(2, 6):
+            assert finish <= wake_times[rank] <= finish + 0.011 + 1e-6
+
+    def test_active_requires_work(self):
+        world = make_world(2)
+        def program(env):
+            v = env.view(world.comm_world)
+            if env.rank == 0:
+                with pytest.raises(ValueError):
+                    yield from gated_section(env, v, True, None)
+            # Both ranks still need a matching barrier path to avoid a
+            # deadlock after the error — just end the test here.
+            return True
+        world.spawn_all(program)
+        world.run(until=1.0)
+
+    def test_poll_interval_validated(self):
+        world = make_world(2)
+        def program(env):
+            v = env.view(world.comm_world)
+            with pytest.raises(ValueError):
+                yield from gated_section(env, v, False, poll_interval=0)
+            return True
+        world.spawn_all(program)
+        world.run(until=1.0)
+
+    def test_nested_gating_different_ppn_per_kernel(self):
+        """Two kernels gated at different active widths, back to back."""
+        world = make_world(4, ppn=2)
+        comm = world.comm_world
+        log = []
+
+        def kernel(env, name, dt):
+            yield from env.sleep(dt)
+            log.append((name, env.rank))
+            return name
+
+        def program(env):
+            v = env.view(comm)
+            # Kernel A on ranks {0}; kernel B on ranks {0,1,2}.
+            yield from gated_section(
+                env, v, env.rank < 1,
+                kernel(env, "A", 0.01) if env.rank < 1 else None)
+            yield from gated_section(
+                env, v, env.rank < 3,
+                kernel(env, "B", 0.01) if env.rank < 3 else None)
+            return env.now
+
+        run_program(world, program)
+        assert sorted(log) == [("A", 0), ("B", 0), ("B", 1), ("B", 2)]
+
+
+class TestWaitany:
+    def test_returns_first_completion(self):
+        from repro.mpi.requests import waitany
+        world = make_world(3)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                r1 = yield from comm.irecv(1, tag=1)
+                r2 = yield from comm.irecv(2, tag=2)
+                idx, val = yield from waitany([r1, r2])
+                assert (idx, val) == (1, "fast")
+                idx2, val2 = yield from waitany([r1, r2])
+                # r2 already fired; lowest-index completed request wins only
+                # once r1 also completes — here r2 is the completed one.
+                assert (idx2, val2) == (1, "fast")
+                got = yield from r1.wait()
+                assert got == "slow"
+            elif env.rank == 1:
+                yield from env.sleep(0.01)
+                yield from comm.send(0, data="slow", nbytes=8, tag=1)
+            else:
+                yield from comm.send(0, data="fast", nbytes=8, tag=2)
+        run_program(world, program)
+
+    def test_already_done_wins_lowest_index(self):
+        from repro.mpi.requests import waitany
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, data="a", nbytes=8, tag=0)
+                yield from comm.send(1, data="b", nbytes=8, tag=1)
+            else:
+                ra = yield from comm.irecv(0, tag=0)
+                rb = yield from comm.irecv(0, tag=1)
+                yield from ra.wait()
+                yield from rb.wait()
+                idx, val = yield from waitany([ra, rb])
+                assert (idx, val) == (0, "a")
+        run_program(world, program)
+
+    def test_empty_rejected(self):
+        from repro.mpi.requests import waitany
+        world = make_world(1)
+        def program(env):
+            with pytest.raises(ValueError):
+                yield from waitany([])
+            return True
+        _, (ok,) = run_program(world, program)
+        assert ok

@@ -1,0 +1,170 @@
+"""Tests for World / RankEnv plumbing: compute charging, spawning, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import World
+from repro.mpi.world import RankEnv
+from repro.netmodel import Cluster, MachineParams, NetworkParams, block_placement
+from repro.sim.engine import SimulationError
+from repro.sim.trace import SpanKind
+
+from tests.conftest import make_world, run_program
+
+
+class TestWorldSetup:
+    def test_num_ranks_matches_cluster(self):
+        world = make_world(6, ppn=3)
+        assert world.num_ranks == 6
+        assert world.comm_world.size == 6
+
+    def test_flop_rate_shares_node_by_ppn(self):
+        machine = MachineParams(node_flops=1e12)
+        world = World(block_placement(8, 4), machine=machine)
+        assert world.flop_rate_of(0) == pytest.approx(2.5e11)
+
+    def test_flop_rate_heterogeneous_ppn(self):
+        # 5 ranks at ppn=2: node0 has 2, node1 has 2, node2 has 1.
+        machine = MachineParams(node_flops=1e12)
+        world = World(block_placement(5, 2), machine=machine)
+        assert world.flop_rate_of(0) == pytest.approx(5e11)
+        assert world.flop_rate_of(4) == pytest.approx(1e12)
+
+    def test_spawn_bad_rank_rejected(self):
+        world = make_world(2)
+        def gen():
+            yield from ()
+        with pytest.raises(ValueError):
+            world.spawn(5, gen())
+
+    def test_results_in_spawn_order(self):
+        world = make_world(4)
+        def program(env):
+            yield from env.sleep((4 - env.rank) * 1e-3)  # reverse finish order
+            return env.rank
+        _, results = run_program(world, program)
+        assert results == [0, 1, 2, 3]
+
+    def test_unique_cids(self):
+        world = make_world(4)
+        cids = {world.new_comm([0, 1]).cid for _ in range(10)}
+        assert len(cids) == 10
+
+    def test_run_reports_deadlocked_rank_names(self):
+        world = make_world(2)
+        def program(env):
+            if env.rank == 1:
+                yield from env.view(world.comm_world).recv(0)
+            return None
+        world.spawn_all(program)
+        with pytest.raises(SimulationError, match="rank1"):
+            world.run()
+
+
+class TestRankEnvCompute:
+    def test_compute_charges_time(self):
+        world = make_world(1)
+        def program(env):
+            yield from env.compute(0.25)
+            return env.now
+        _, (t,) = run_program(world, program)
+        assert t == 0.25
+
+    def test_compute_flops_uses_rank_rate(self):
+        machine = MachineParams(node_flops=1e9)
+        world = World(block_placement(2, 2), machine=machine)
+        def program(env):
+            yield from env.compute_flops(1e9)  # node shared by 2 -> 2 s
+            return env.now
+        _, results = run_program(world, program)
+        assert results[0] == pytest.approx(2.0)
+
+    def test_gemm_real_mode_computes(self, rng):
+        world = make_world(1)
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((4, 5))
+        def program(env):
+            c = yield from env.gemm(a, b, 3, 4, 5)
+            return c
+        _, (c,) = run_program(world, program)
+        assert np.allclose(c, a @ b)
+
+    def test_gemm_accumulate(self, rng):
+        world = make_world(1)
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        acc = np.ones((3, 3))
+        def program(env):
+            out = yield from env.gemm(a, b, 3, 3, 3, accumulate=acc)
+            return out
+        _, (out,) = run_program(world, program)
+        assert out is acc
+        assert np.allclose(out, 1.0 + a @ b)
+
+    def test_gemm_modeled_charges_only(self):
+        machine = MachineParams(node_flops=1e9)
+        world = World(block_placement(1, 1), machine=machine)
+        def program(env):
+            out = yield from env.gemm(None, None, 100, 100, 100)
+            return (out, env.now)
+        _, ((out, t),) = run_program(world, program)
+        assert out is None
+        assert t == pytest.approx(2e6 / 1e9)
+
+    def test_negative_args_rejected(self):
+        world = make_world(1)
+        def program(env):
+            with pytest.raises(ValueError):
+                yield from env.compute(-1.0)
+            with pytest.raises(ValueError):
+                yield from env.compute_flops(-5)
+            with pytest.raises(ValueError):
+                yield from env.sleep(-1)
+            return True
+        _, (ok,) = run_program(world, program)
+        assert ok
+
+
+class TestTracing:
+    def test_comm_ops_record_spans(self):
+        world = World(block_placement(4, 1), trace=True)
+        def program(env):
+            comm = env.view(world.comm_world)
+            req = yield from comm.ireduce(nbytes=1 << 21, root=0)
+            yield from req.wait()
+        run_program(world, program)
+        posts = [r for r in world.trace.records if r.kind == SpanKind.POST]
+        waits = [r for r in world.trace.records if r.kind == SpanKind.WAIT]
+        assert any("ireduce" in r.label for r in posts)
+        assert waits, "waiting on the request should record a WAIT span"
+
+    def test_compute_spans_recorded(self):
+        world = World(block_placement(1, 1), trace=True)
+        def program(env):
+            yield from env.compute(0.1, label="my-kernel")
+        run_program(world, program)
+        assert world.trace.total(0, SpanKind.COMPUTE) == pytest.approx(0.1)
+        assert any(r.label == "my-kernel" for r in world.trace.records)
+
+    def test_transfer_spans_when_traced(self):
+        world = World(block_placement(2, 1), trace=True)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, nbytes=1 << 20)
+            else:
+                yield from comm.recv(0)
+        run_program(world, program)
+        transfers = [r for r in world.trace.records if r.kind == SpanKind.TRANSFER]
+        assert transfers and transfers[0].meta["nbytes"] == 1 << 20
+
+    def test_trace_disabled_by_default(self):
+        world = make_world(2)
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, nbytes=100)
+            else:
+                yield from comm.recv(0)
+        run_program(world, program)
+        assert world.trace.records == []

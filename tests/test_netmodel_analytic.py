@@ -1,0 +1,80 @@
+"""Unit tests for the closed-form alpha-beta models (repro.netmodel.analytic)."""
+
+import math
+
+import pytest
+
+from repro.netmodel import NetworkParams
+from repro.netmodel.analytic import (
+    baseline_ssc_comm_time_model,
+    collective_volume_long_message,
+    effective_p2p_bandwidth,
+    t_bcast_scatter_allgather,
+    t_point_to_point,
+    t_reduce_rabenseifner,
+)
+from repro.util import MB
+
+
+class TestPointToPoint:
+    def test_formula(self):
+        assert t_point_to_point(1000, 1e-6, 1e-9) == pytest.approx(1e-6 + 1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            t_point_to_point(-1, 0, 0)
+
+
+class TestCollectiveModels:
+    def test_paper_section_va_numbers(self):
+        """Regenerate the paper's §V-A example to 3 significant figures."""
+        n = 27.89 * MB
+        beta = 1.0 / (12_000 * MB)
+        alpha = 0.0  # the paper ignores latency for these messages
+        assert t_point_to_point(n, alpha, beta) == pytest.approx(2.324e-3, rel=1e-3)
+        assert t_bcast_scatter_allgather(n, 4, alpha, beta) == pytest.approx(
+            3.487e-3, rel=1e-3
+        )
+        assert t_reduce_rabenseifner(n, 4, alpha, beta) == pytest.approx(
+            3.487e-3, rel=1e-3
+        )
+        model = baseline_ssc_comm_time_model(n, 4, alpha, beta)
+        assert model["T_baseline"] == pytest.approx(0.02208, rel=1e-3)
+
+    def test_p_equals_one_is_free(self):
+        assert t_bcast_scatter_allgather(100, 1, 1e-6, 1e-9) == 0.0
+        assert t_reduce_rabenseifner(100, 1, 1e-6, 1e-9) == 0.0
+
+    def test_bcast_alpha_term(self):
+        # alpha * (log2 p + p - 1) with zero beta.
+        t = t_bcast_scatter_allgather(100, 8, 1.0, 0.0)
+        assert t == pytest.approx(math.log2(8) + 7)
+
+    def test_reduce_alpha_term(self):
+        t = t_reduce_rabenseifner(100, 8, 1.0, 0.0)
+        assert t == pytest.approx(2 * math.log2(8))
+
+    def test_volume_formula(self):
+        assert collective_volume_long_message(1000, 4) == pytest.approx(1500)
+        with pytest.raises(ValueError):
+            collective_volume_long_message(1000, 0)
+
+
+class TestEffectiveBandwidth:
+    def test_zero_size(self):
+        assert effective_p2p_bandwidth(0, NetworkParams()) == 0.0
+
+    def test_monotone_and_bounded(self):
+        p = NetworkParams()
+        sizes = [1 << k for k in range(4, 25)]
+        bws = [effective_p2p_bandwidth(s, p) for s in sizes]
+        assert bws == sorted(bws)
+        assert bws[-1] <= p.nic_bandwidth
+
+    def test_rendezvous_kink(self):
+        """Crossing the eager threshold adds the handshake overhead."""
+        p = NetworkParams()
+        below = effective_p2p_bandwidth(p.rendezvous_threshold, p)
+        above = effective_p2p_bandwidth(p.rendezvous_threshold + 1, p)
+        # Bandwidth dips right above the threshold despite the larger size.
+        assert above < below

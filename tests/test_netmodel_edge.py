@@ -1,0 +1,96 @@
+"""Edge cases of the network model: placements, latency knobs, stress."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel import Cluster, Fabric, NetworkParams
+from repro.netmodel.topology import round_robin_placement
+from repro.sim.engine import Engine
+from repro.util import MIB
+
+
+class TestExtraLatency:
+    def test_extra_latency_delays_start(self):
+        p = NetworkParams()
+        eng = Engine()
+        fab = Fabric(eng, Cluster([0, 1]), p)
+        done = {}
+        ev = fab.transfer(0, 1, 1 * MIB, extra_latency=0.01)
+        ev.add_callback(lambda _e: done.setdefault("t", eng.now))
+        eng.run()
+        base_rate = min(p.flow_cap(1 * MIB), p.process_injection_bandwidth)
+        assert done["t"] == pytest.approx(0.01 + p.alpha + 1 * MIB / base_rate,
+                                          rel=1e-9)
+
+
+class TestPlacements:
+    def test_round_robin_traffic_classification(self):
+        cluster = round_robin_placement(6, 3)  # ranks 0,3 on node0; 1,4 node1...
+        eng = Engine()
+        fab = Fabric(eng, cluster, NetworkParams())
+        fab.transfer(0, 3, 100)  # same node
+        fab.transfer(0, 1, 200)  # different nodes
+        eng.run()
+        assert fab.intra_node_bytes == 100
+        assert fab.inter_node_bytes == 200
+
+    def test_many_to_one_rx_contention(self):
+        """All nodes sending to one receiver: RX direction is the bottleneck."""
+        p = NetworkParams()
+        k = 6
+        cluster = Cluster(list(range(k + 1)))  # one rank per node
+        eng = Engine()
+        fab = Fabric(eng, cluster, p)
+        n = 4 * MIB
+        done = []
+        for src in range(1, k + 1):
+            fab.transfer(src, 0, n).add_callback(
+                lambda _e: done.append(eng.now))
+        eng.run()
+        expected = p.alpha + k * n / p.nic_bandwidth  # RX equal share
+        assert max(done) == pytest.approx(expected, rel=1e-6)
+
+
+class TestStress:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nflows=st.integers(1, 40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_random_flow_soup_completes(self, nflows, seed):
+        """Arbitrary flow patterns always drain; busy time is bounded."""
+        rng = np.random.default_rng(seed)
+        cluster = round_robin_placement(12, 4)
+        eng = Engine()
+        fab = Fabric(eng, cluster, NetworkParams())
+        completions = []
+        for _ in range(nflows):
+            src, dst = rng.integers(0, 12, size=2)
+            if src == dst:
+                dst = (dst + 1) % 12
+            nbytes = int(rng.integers(0, 2 * MIB))
+            start = float(rng.random() * 1e-3)
+            eng.call_after(start, lambda s=int(src), d=int(dst), nb=nbytes:
+                           fab.transfer(s, d, nb).add_callback(
+                               lambda _e: completions.append(eng.now)))
+        eng.run()
+        assert len(completions) == nflows
+        stats = fab.snapshot_stats()
+        assert stats["inter_busy_time"] <= eng.now + 1e-12
+
+    def test_thousand_small_flows_fast(self):
+        """Engine throughput sanity: 1000 flows complete without issue."""
+        cluster = round_robin_placement(16, 4)
+        eng = Engine()
+        fab = Fabric(eng, cluster, NetworkParams())
+        count = []
+        for i in range(1000):
+            src = i % 16
+            dst = (i * 7 + 1) % 16
+            if cluster.node_of(src) == cluster.node_of(dst):
+                dst = (dst + 1) % 16
+            fab.transfer(src, dst, 4096).add_callback(
+                lambda _e: count.append(1))
+        eng.run()
+        assert len(count) == 1000

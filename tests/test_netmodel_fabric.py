@@ -1,0 +1,184 @@
+"""Unit and property tests for the fluid-flow fabric."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel import Cluster, Fabric, NetworkParams, split_placement
+from repro.netmodel.topology import block_placement
+from repro.sim.engine import Engine
+from repro.sim.process import SimProcess
+from repro.util import MB, MIB
+
+
+def run_flows(cluster, flows, params=None):
+    """Start (src, dst, nbytes, t_start) flows; return dict fid -> finish time."""
+    eng = Engine()
+    fab = Fabric(eng, cluster, params or NetworkParams())
+    finish = {}
+    for fid, (src, dst, nbytes, t0) in enumerate(flows):
+        def start(fid=fid, src=src, dst=dst, nbytes=nbytes):
+            ev = fab.transfer(src, dst, nbytes)
+            ev.add_callback(lambda _e, fid=fid: finish.setdefault(fid, eng.now))
+        eng.call_after(t0, start)
+    eng.run()
+    return finish, fab
+
+
+class TestSingleFlow:
+    def test_single_flow_time_matches_model(self):
+        p = NetworkParams()
+        n = 16 * MIB
+        finish, _ = run_flows(split_placement(1), [(0, 1, n, 0.0)], p)
+        rate = min(p.flow_cap(n), p.process_injection_bandwidth)
+        assert finish[0] == pytest.approx(p.alpha + n / rate, rel=1e-9)
+
+    def test_zero_byte_flow_costs_latency_only(self):
+        p = NetworkParams()
+        finish, _ = run_flows(split_placement(1), [(0, 1, 0, 0.0)], p)
+        assert finish[0] == pytest.approx(p.alpha)
+
+    def test_intra_node_uses_shm(self):
+        p = NetworkParams()
+        n = 1 * MIB
+        finish, fab = run_flows(Cluster([0, 0]), [(0, 1, n, 0.0)], p)
+        assert finish[0] == pytest.approx(p.shm_alpha + n / p.shm_cap(n), rel=1e-9)
+        assert fab.intra_node_bytes == n and fab.inter_node_bytes == 0
+
+    def test_negative_size_rejected(self):
+        eng = Engine()
+        fab = Fabric(eng, split_placement(1))
+        with pytest.raises(ValueError):
+            fab.transfer(0, 1, -1)
+        with pytest.raises(ValueError):
+            fab.transfer(0, 1, 10, extra_latency=-1)
+
+
+class TestSharing:
+    def test_two_flows_same_process_share_injection_cap(self):
+        p = NetworkParams()
+        n = 8 * MIB
+        finish, _ = run_flows(split_placement(1), [(0, 1, n, 0.0), (0, 1, n, 0.0)], p)
+        # Both limited by the per-process injection cap / 2.
+        expected = p.alpha + 2 * n / p.process_injection_bandwidth
+        assert finish[0] == pytest.approx(expected, rel=1e-6)
+        assert finish[1] == pytest.approx(expected, rel=1e-6)
+
+    def test_flows_from_different_processes_share_nic(self):
+        p = NetworkParams()
+        n = 8 * MIB
+        # 4 src processes on node 0 -> NIC-bound at 12 GB/s aggregate.
+        flows = [(i, i + 4, n, 0.0) for i in range(4)]
+        finish, _ = run_flows(split_placement(4), flows, p)
+        expected = p.alpha + 4 * n / p.nic_bandwidth
+        for fid in range(4):
+            assert finish[fid] == pytest.approx(expected, rel=1e-6)
+
+    def test_rate_rebalances_when_flow_ends(self):
+        p = NetworkParams()
+        n = 8 * MIB
+        # Flow 1 starts when flow 0 is half done; both from different procs.
+        finish, _ = run_flows(
+            split_placement(2), [(0, 2, n, 0.0), (1, 3, n, 1.0)], p
+        )
+        # With generous spacing, flow 0 finishes before any sharing matters
+        # only if 1.0 s > its duration -- it is, so both run at full rate.
+        solo = p.alpha + n / min(p.flow_cap(n), p.process_injection_bandwidth)
+        assert finish[0] == pytest.approx(solo, rel=1e-6)
+        assert finish[1] == pytest.approx(1.0 + solo, rel=1e-6)
+
+    def test_mid_flight_rate_change_conserves_bytes(self):
+        p = NetworkParams().replace(alpha=0.0)
+        n = 32 * MIB
+        # Second flow joins mid-transfer, same source process.
+        finish, _ = run_flows(split_placement(1), [(0, 1, n, 0.0), (0, 1, n, 0.001)], p)
+        # Flow 0: 0.001 s at solo rate, then shares the injection cap.
+        solo_rate = min(p.flow_cap(n), p.process_injection_bandwidth)
+        moved = solo_rate * 0.001
+        shared = p.process_injection_bandwidth / 2
+        t0_expected = 0.001 + (n - moved) / shared
+        assert finish[0] == pytest.approx(t0_expected, rel=1e-4)
+
+    def test_full_duplex_no_interference(self):
+        p = NetworkParams()
+        n = 8 * MIB
+        # One flow each direction between the two nodes: both run at solo rate.
+        finish, _ = run_flows(split_placement(1), [(0, 1, n, 0.0), (1, 0, n, 0.0)], p)
+        solo = p.alpha + n / min(p.flow_cap(n), p.process_injection_bandwidth)
+        assert finish[0] == pytest.approx(solo, rel=1e-6)
+        assert finish[1] == pytest.approx(solo, rel=1e-6)
+
+
+class TestAccounting:
+    def test_byte_counters(self):
+        cluster = Cluster([0, 0, 1])
+        finish, fab = run_flows(cluster, [(0, 1, 100, 0.0), (0, 2, 200, 0.0)])
+        assert fab.intra_node_bytes == 100
+        assert fab.inter_node_bytes == 200
+        assert fab.intra_node_messages == 1
+        assert fab.inter_node_messages == 1
+
+    def test_busy_time_single_flow(self):
+        p = NetworkParams()
+        n = 8 * MIB
+        finish, fab = run_flows(split_placement(1), [(0, 1, n, 0.0)], p)
+        stats = fab.snapshot_stats()
+        rate = min(p.flow_cap(n), p.process_injection_bandwidth)
+        assert stats["inter_busy_time"] == pytest.approx(n / rate, rel=1e-6)
+
+    def test_busy_time_excludes_gaps(self):
+        p = NetworkParams()
+        n = 8 * MIB
+        finish, fab = run_flows(
+            split_placement(1), [(0, 1, n, 0.0), (0, 1, n, 5.0)], p
+        )
+        stats = fab.snapshot_stats()
+        rate = min(p.flow_cap(n), p.process_injection_bandwidth)
+        assert stats["inter_busy_time"] == pytest.approx(2 * n / rate, rel=1e-5)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        flows=st.lists(
+            st.tuples(
+                st.integers(0, 3),                    # src
+                st.integers(0, 3),                    # dst offset
+                st.integers(0, 4 * MIB),              # bytes
+                st.floats(0, 0.01, allow_nan=False),  # start
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_all_flows_complete_and_bytes_conserved(self, flows):
+        cluster = block_placement(8, 2)
+        spec = [(s, (s + 1 + d) % 8, n, t) for (s, d, n, t) in flows]
+        finish, fab = run_flows(cluster, spec)
+        assert len(finish) == len(spec)
+        inter = sum(n for (s, d, n, _t) in spec if not cluster.same_node(s, d))
+        intra = sum(n for (s, d, n, _t) in spec if cluster.same_node(s, d))
+        assert fab.inter_node_bytes == inter
+        assert fab.intra_node_bytes == intra
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 16 * MIB),
+        k=st.integers(1, 6),
+    )
+    def test_overlap_never_slower_than_serial(self, n, k):
+        """k concurrent equal flows finish no later than k serial ones."""
+        p = NetworkParams()
+        cluster = split_placement(k)
+        concurrent = [(i, i + k, n, 0.0) for i in range(k)]
+        finish, _ = run_flows(cluster, concurrent, p)
+        t_concurrent = max(finish.values())
+        solo = p.alpha + n / min(p.flow_cap(n), p.process_injection_bandwidth)
+        assert t_concurrent <= k * solo + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 8 * MIB))
+    def test_completion_monotone_in_size(self, n):
+        p = NetworkParams()
+        f1, _ = run_flows(split_placement(1), [(0, 1, n, 0.0)], p)
+        f2, _ = run_flows(split_placement(1), [(0, 1, n + 1024, 0.0)], p)
+        assert f2[0] >= f1[0]

@@ -1,0 +1,86 @@
+"""Unit tests for the network/machine parameter models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel import MachineParams, NetworkParams
+from repro.util import KIB, MB, MIB
+
+
+class TestNetworkParams:
+    def test_defaults_valid(self):
+        p = NetworkParams()
+        assert p.nic_bandwidth == 12_000 * MB
+
+    def test_flow_cap_monotone_in_size(self):
+        p = NetworkParams()
+        sizes = [1, 1 * KIB, 64 * KIB, 1 * MIB, 16 * MIB]
+        caps = [p.flow_cap(s) for s in sizes]
+        assert caps == sorted(caps)
+
+    def test_flow_cap_never_exceeds_nic(self):
+        p = NetworkParams()
+        for s in (0, 100, 10**9):
+            assert p.flow_cap(s) <= p.nic_bandwidth
+
+    def test_flow_cap_half_size_semantics(self):
+        p = NetworkParams()
+        assert p.flow_cap(p.flow_half_size) == pytest.approx(p.nic_bandwidth / 2)
+
+    def test_shm_cap_bounded(self):
+        p = NetworkParams()
+        assert p.shm_cap(10**9) <= p.shm_flow_cap
+
+    def test_beta_is_inverse_bandwidth(self):
+        p = NetworkParams()
+        assert p.beta() == pytest.approx(1.0 / p.nic_bandwidth)
+
+    def test_replace_returns_modified_copy(self):
+        p = NetworkParams()
+        q = p.replace(alpha=9e-6)
+        assert q.alpha == 9e-6 and p.alpha != 9e-6
+
+    @pytest.mark.parametrize(
+        "field",
+        ["nic_bandwidth", "flow_half_size", "shm_bandwidth", "combine_bandwidth",
+         "eager_copy_bandwidth", "round_copy_bandwidth",
+         "process_injection_bandwidth"],
+    )
+    def test_positive_fields_validated(self, field):
+        with pytest.raises(ValueError):
+            NetworkParams(**{field: 0})
+
+    @pytest.mark.parametrize(
+        "field",
+        ["alpha", "send_overhead", "recv_overhead", "blocking_round_gap",
+         "ireduce_post_per_byte"],
+    )
+    def test_nonnegative_fields_validated(self, field):
+        with pytest.raises(ValueError):
+            NetworkParams(**{field: -1e-9})
+
+    @given(st.integers(min_value=1, max_value=2**34))
+    def test_flow_cap_positive(self, n):
+        assert NetworkParams().flow_cap(n) > 0
+
+
+class TestMachineParams:
+    def test_defaults(self):
+        m = MachineParams()
+        assert m.cores_per_node == 48
+
+    def test_process_flops_shares_node(self):
+        m = MachineParams()
+        assert m.process_flops(4) == pytest.approx(m.node_flops / 4)
+
+    def test_process_flops_rejects_bad_ppn(self):
+        with pytest.raises(ValueError):
+            MachineParams().process_flops(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(node_flops=0)
+
+    def test_replace(self):
+        m = MachineParams().replace(node_flops=1e15)
+        assert m.node_flops == 1e15

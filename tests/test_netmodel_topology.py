@@ -1,0 +1,72 @@
+"""Unit tests for cluster topology and rank placement."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netmodel import Cluster, block_placement, split_placement
+from repro.netmodel.topology import round_robin_placement
+
+
+class TestCluster:
+    def test_basic(self):
+        c = Cluster([0, 0, 1, 1])
+        assert c.num_ranks == 4 and c.num_nodes == 2
+        assert c.node_of(2) == 1
+        assert c.ranks_on_node(0) == [0, 1]
+        assert c.ppn_of_node(1) == 2
+        assert c.same_node(0, 1) and not c.same_node(1, 2)
+
+    def test_explicit_num_nodes(self):
+        c = Cluster([0, 0], num_nodes=4)
+        assert c.num_nodes == 4
+        assert c.ranks_on_node(3) == []
+
+    def test_num_nodes_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([0, 1, 2], num_nodes=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([0, -1])
+
+    def test_max_ppn(self):
+        assert Cluster([0, 0, 0, 1]).max_ppn() == 3
+
+
+class TestPlacements:
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_block_placement_properties(self, num_ranks, ppn):
+        c = block_placement(num_ranks, ppn)
+        assert c.num_ranks == num_ranks
+        assert c.num_nodes == -(-num_ranks // ppn)
+        assert c.max_ppn() <= ppn
+        # Consecutive ranks share nodes ("natural" assignment).
+        for r in range(num_ranks - 1):
+            if r // ppn == (r + 1) // ppn:
+                assert c.same_node(r, r + 1)
+
+    def test_block_placement_paper_example(self):
+        # Table III: 7^3 = 343 ranks at PPN=6 -> 58 nodes.
+        assert block_placement(343, 6).num_nodes == 58
+
+    def test_split_placement(self):
+        c = split_placement(4)
+        assert c.num_nodes == 2
+        assert all(c.node_of(r) == 0 for r in range(4))
+        assert all(c.node_of(r) == 1 for r in range(4, 8))
+
+    def test_round_robin(self):
+        c = round_robin_placement(10, 3)
+        assert c.node_of(0) == 0 and c.node_of(4) == 1 and c.node_of(5) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            block_placement(0, 1)
+        with pytest.raises(ValueError):
+            block_placement(4, 0)
+        with pytest.raises(ValueError):
+            split_placement(0)

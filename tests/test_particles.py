@@ -1,0 +1,87 @@
+"""Tests for the force-decomposition particle kernel (§VI extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel import MachineParams
+from repro.particles import pairwise_forces_dense, run_force_step
+
+
+class TestReferenceForces:
+    def test_newton_third_law_total_zero(self, rng):
+        x = rng.standard_normal((40, 3))
+        f = pairwise_forces_dense(x)
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_two_particles_repel(self):
+        x = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        f = pairwise_forces_dense(x)
+        assert f[0, 0] < 0 < f[1, 0]
+        assert np.allclose(f[0], -f[1])
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            pairwise_forces_dense(np.zeros((5, 2)))
+
+
+class TestDistributedForces:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    @pytest.mark.parametrize("overlapped,n_dup", [(False, 1), (True, 3)])
+    def test_matches_reference(self, rng, p, overlapped, n_dup):
+        n = 70
+        x = rng.standard_normal((n, 3))
+        res = run_force_step(p, n, x, overlapped=overlapped, n_dup=n_dup)
+        assert np.allclose(res.forces, pairwise_forces_dense(x), atol=1e-10)
+
+    def test_blocking_and_overlapped_agree(self, rng):
+        n = 50
+        x = rng.standard_normal((n, 3))
+        fb = run_force_step(2, n, x).forces
+        fo = run_force_step(2, n, x, overlapped=True, n_dup=4).forces
+        assert np.allclose(fb, fo)
+
+    def test_multistep_trajectory(self, rng):
+        n, dt = 45, 1e-3
+        x = rng.standard_normal((n, 3))
+        xs = x.copy()
+        for _ in range(4):
+            xs = xs + dt * pairwise_forces_dense(xs)
+        res = run_force_step(3, n, x, overlapped=True, n_dup=2, steps=4, dt=dt)
+        assert np.allclose(res.x, xs, atol=1e-8)
+
+    def test_non_divisible_particles(self, rng):
+        n, p = 31, 4
+        x = rng.standard_normal((n, 3))
+        res = run_force_step(p, n, x)
+        assert np.allclose(res.forces, pairwise_forces_dense(x), atol=1e-10)
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(6, 60), p=st.integers(1, 3), seed=st.integers(0, 2**31))
+    def test_property_random(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, 3))
+        res = run_force_step(p, n, x, overlapped=True, n_dup=2)
+        assert np.allclose(res.forces, pairwise_forces_dense(x), atol=1e-9)
+
+
+class TestTimingAndValidation:
+    def test_overlap_speeds_up_comm_dominated_step(self):
+        machine = MachineParams(node_flops=1e16)
+        tb = run_force_step(8, 2_000_000, machine=machine).time_per_step
+        to = run_force_step(8, 2_000_000, overlapped=True, n_dup=4,
+                            machine=machine).time_per_step
+        assert to < 0.85 * tb
+
+    def test_modeled_mode(self):
+        res = run_force_step(4, 100_000, steps=3)
+        assert res.x is None and res.forces is None
+        assert res.elapsed > 0 and res.steps == 3
+
+    def test_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            run_force_step(2, 10, rng.standard_normal((10, 2)))
+
+    def test_steps_positive(self):
+        with pytest.raises(ValueError):
+            run_force_step(2, 10, steps=0)

@@ -1,0 +1,164 @@
+"""Tests for synthetic Fock matrices and purification (dense + distributed)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.purify import (
+    SYSTEMS,
+    canonical_initial_guess,
+    canonical_purify_dense,
+    density_from_eigh,
+    mcweeny_purify_dense,
+    run_distributed_purification,
+    synthetic_fock,
+)
+from repro.purify.canonical import canonical_update_coeffs, gershgorin_bounds
+from repro.purify.mcweeny import mcweeny_initial_guess, mcweeny_step
+
+
+class TestSyntheticFock:
+    def test_symmetric_and_deterministic(self):
+        f1 = synthetic_fock(50, 12, seed=7)
+        f2 = synthetic_fock(50, 12, seed=7)
+        assert np.array_equal(f1, f2)
+        assert np.allclose(f1, f1.T)
+        assert not np.array_equal(f1, synthetic_fock(50, 12, seed=8))
+
+    def test_spectrum_has_gap(self):
+        n, nocc, gap = 60, 20, 0.5
+        f = synthetic_fock(n, nocc, seed=0, gap=gap)
+        w = np.linalg.eigvalsh(f)
+        assert w[nocc - 1] <= -gap / 2 + 1e-9
+        assert w[nocc] >= gap / 2 - 1e-9
+
+    def test_paper_systems_registered(self):
+        assert SYSTEMS["1hsg_45"][0] == 5330
+        assert SYSTEMS["1hsg_60"][0] == 6895
+        assert SYSTEMS["1hsg_70"][0] == 7645
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_fock(10, 0)
+        with pytest.raises(ValueError):
+            synthetic_fock(10, 10)
+
+    def test_density_from_eigh_is_projector(self):
+        f = synthetic_fock(40, 10, seed=1)
+        d = density_from_eigh(f, 10)
+        assert np.allclose(d @ d, d, atol=1e-10)
+        assert np.trace(d) == pytest.approx(10.0)
+
+    def test_density_from_eigh_validation(self):
+        with pytest.raises(ValueError):
+            density_from_eigh(np.zeros((3, 4)), 1)
+        with pytest.raises(ValueError):
+            density_from_eigh(np.eye(4), 0)
+
+
+class TestCanonicalDense:
+    def test_converges_to_projector(self):
+        f = synthetic_fock(60, 15, seed=2)
+        d, iters = canonical_purify_dense(f, 15, tol=1e-12)
+        ref = density_from_eigh(f, 15)
+        assert np.abs(d - ref).max() < 1e-8
+        assert iters < 60
+
+    def test_trace_preserved_every_step(self):
+        f = synthetic_fock(40, 10, seed=3)
+        d = canonical_initial_guess(f, 10)
+        assert np.trace(d) == pytest.approx(10.0)
+        for _ in range(5):
+            d2 = d @ d
+            d3 = d2 @ d
+            a, b, g, _c = canonical_update_coeffs(
+                np.trace(d), np.trace(d2), np.trace(d3)
+            )
+            d = a * d + b * d2 + g * d3
+            assert np.trace(d) == pytest.approx(10.0, abs=1e-8)
+
+    def test_initial_guess_spectrum_in_unit_interval(self):
+        f = synthetic_fock(50, 20, seed=4)
+        d0 = canonical_initial_guess(f, 20)
+        w = np.linalg.eigvalsh(d0)
+        assert w.min() >= -1e-9 and w.max() <= 1 + 1e-9
+
+    def test_gershgorin_bounds_contain_spectrum(self):
+        f = synthetic_fock(30, 10, seed=5)
+        lo, hi = gershgorin_bounds(f)
+        w = np.linalg.eigvalsh(f)
+        assert lo <= w.min() and hi >= w.max()
+
+    def test_update_coeffs_mcweeny_branch(self):
+        a, b, g, c = canonical_update_coeffs(10.0, 10.0, 10.0)
+        assert (a, b, g) == (0.0, 3.0, -2.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(10, 50), frac=st.floats(0.15, 0.8),
+           seed=st.integers(0, 2**31))
+    def test_property_converges(self, n, frac, seed):
+        nocc = max(1, min(n - 1, int(frac * n)))
+        f = synthetic_fock(n, nocc, seed=seed)
+        d, _ = canonical_purify_dense(f, nocc, tol=1e-11, maxiter=200)
+        assert np.abs(d - density_from_eigh(f, nocc)).max() < 1e-6
+
+
+class TestMcWeeny:
+    def test_step_drives_toward_idempotency(self):
+        f = synthetic_fock(40, 10, seed=6)
+        d = mcweeny_initial_guess(f, 0.0)
+        err0 = abs(np.trace(d) - np.trace(d @ d))
+        for _ in range(30):
+            d = mcweeny_step(d)
+        err = abs(np.trace(d) - np.trace(d @ d))
+        assert err < 1e-9 < err0
+
+    def test_converges_to_reference(self):
+        f = synthetic_fock(50, 20, seed=7)
+        d, iters = mcweeny_purify_dense(f, 0.0, tol=1e-12)
+        assert np.abs(d - density_from_eigh(f, 20)).max() < 1e-8
+
+    def test_mu_outside_spectrum_rejected(self):
+        f = synthetic_fock(20, 5, seed=8)
+        lo, hi = gershgorin_bounds(f)
+        with pytest.raises(ValueError):
+            mcweeny_initial_guess(f, hi + 100.0)
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("alg,nd", [("original", 1), ("baseline", 1),
+                                        ("optimized", 3)])
+    def test_matches_dense_reference(self, alg, nd):
+        n, nocc, p = 48, 12, 2
+        f = synthetic_fock(n, nocc, seed=9)
+        ref = density_from_eigh(f, nocc)
+        res = run_distributed_purification(
+            p, n, alg, f, nocc, n_dup=nd, iterations=80, tol=1e-11
+        )
+        assert res.converged
+        assert np.abs(res.d - ref).max() < 1e-6
+        assert np.trace(res.d) == pytest.approx(nocc, abs=1e-6)
+
+    def test_iteration_count_close_to_dense(self):
+        n, nocc = 36, 9
+        f = synthetic_fock(n, nocc, seed=10)
+        _d, it_dense = canonical_purify_dense(f, nocc, tol=1e-10)
+        res = run_distributed_purification(
+            2, n, "baseline", f, nocc, iterations=100, tol=1e-10
+        )
+        assert abs(res.iterations - it_dense) <= 2
+
+    def test_modeled_mode_runs_fixed_iterations(self):
+        res = run_distributed_purification(2, 2048, "optimized", n_dup=2,
+                                           iterations=4)
+        assert res.iterations == 4
+        assert len(res.ssc_times) == 4
+        assert res.tflops > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_occ"):
+            run_distributed_purification(2, 16, "baseline", np.eye(16))
+        with pytest.raises(ValueError, match="unknown"):
+            run_distributed_purification(2, 16, "nope")
+        with pytest.raises(ValueError, match="shape"):
+            run_distributed_purification(2, 16, "baseline", np.eye(8), 2)

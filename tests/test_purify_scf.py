@@ -1,0 +1,72 @@
+"""Tests for the §III-B SCF driver (per-kernel PPN with gated purification)."""
+
+import numpy as np
+import pytest
+
+from repro.purify import density_from_eigh, run_scf, synthetic_fock
+
+
+class TestRealMode:
+    def test_gated_purification_correct(self):
+        n, nocc = 36, 9
+        f = synthetic_fock(n, nocc, seed=20)
+        res = run_scf(2, n, f, nocc, total_ranks=16, launch_ppn=4,
+                      scf_iterations=2, purify_iterations=60, tol=1e-10)
+        ref = density_from_eigh(f, nocc)
+        assert np.abs(res.d - ref).max() < 1e-6
+        assert res.scf_iterations == 2
+        assert len(res.fock_times) == 2
+        assert len(res.purify_times) == 2
+        assert res.total_time > 0
+
+    def test_sleepers_do_not_change_results(self):
+        """Purifying with 8/8 ranks vs 8/32 ranks gives identical D."""
+        n, nocc = 30, 8
+        f = synthetic_fock(n, nocc, seed=21)
+        r_small = run_scf(2, n, f, nocc, total_ranks=8, launch_ppn=2,
+                          scf_iterations=1, purify_iterations=60, tol=1e-10)
+        r_big = run_scf(2, n, f, nocc, total_ranks=32, launch_ppn=8,
+                        scf_iterations=1, purify_iterations=60, tol=1e-10)
+        assert np.allclose(r_small.d, r_big.d, atol=1e-12)
+
+
+class TestModeledMode:
+    def test_paper_scale_timing(self):
+        res = run_scf(4, 7645, total_ranks=64, launch_ppn=1,
+                      scf_iterations=2, purify_iterations=2)
+        assert len(res.ssc_times) == 4  # 2 SCF x 2 purification iterations
+        assert all(t > 0 for t in res.ssc_times)
+
+    def test_fock_phase_compute_bound(self):
+        """Raising the Fock flop budget lengthens only the Fock phase."""
+        small = run_scf(2, 2000, total_ranks=8, launch_ppn=2,
+                        scf_iterations=1, purify_iterations=1,
+                        fock_flops_total=1e11)
+        big = run_scf(2, 2000, total_ranks=8, launch_ppn=2,
+                      scf_iterations=1, purify_iterations=1,
+                      fock_flops_total=1e13)
+        assert big.fock_times[0] > 10 * small.fock_times[0]
+        assert big.purify_times[0] == pytest.approx(small.purify_times[0],
+                                                    rel=0.2)
+
+    def test_gating_overhead_bounded_by_poll_tick(self):
+        """Sleeping ranks add at most ~one 10 ms poll interval per kernel."""
+        gated = run_scf(2, 2000, total_ranks=32, launch_ppn=8,
+                        scf_iterations=1, purify_iterations=1)
+        solo = run_scf(2, 2000, total_ranks=8, launch_ppn=8,
+                       scf_iterations=1, purify_iterations=1)
+        assert gated.total_time < solo.total_time + 0.011 * 2 + 0.01
+
+
+class TestValidation:
+    def test_total_ranks_must_cover_mesh(self):
+        with pytest.raises(ValueError, match="total_ranks"):
+            run_scf(2, 100, total_ranks=4)
+
+    def test_real_mode_needs_nocc(self):
+        with pytest.raises(ValueError, match="n_occ"):
+            run_scf(2, 16, np.eye(16))
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            run_scf(2, 16, np.eye(8), 2)

@@ -1,0 +1,85 @@
+"""Cross-scale sanity invariants of the full kernel stack.
+
+These pin down relationships the paper's analysis relies on implicitly:
+performance scales sensibly with matrix size, mesh size, and hardware
+constants — catching regressions that per-experiment checks might miss.
+"""
+
+import pytest
+
+from repro.kernels import run_ssc, run_ssc25d, ssc_flops
+from repro.netmodel import MachineParams, NetworkParams
+from repro.purify import SYSTEMS
+
+
+class TestSizeScaling:
+    def test_tflops_grows_with_matrix_size(self):
+        """Larger matrices amortize latency/sync: higher achieved TFlop/s
+        (the paper's Table I trend across 1hsg_45/60/70)."""
+        rates = [run_ssc(4, n, "baseline").tflops
+                 for n in (2000, 5330, 7645)]
+        assert rates == sorted(rates)
+
+    def test_time_superlinear_in_n(self):
+        """4 N^3 flops + O(N^2) comm: doubling N multiplies time by > 4."""
+        t1 = run_ssc(4, 4000, "baseline").elapsed
+        t2 = run_ssc(4, 8000, "baseline").elapsed
+        assert t2 > 4 * t1
+
+    def test_more_nodes_faster_wallclock(self):
+        """Scaling the mesh out (PPN=1, more nodes) cuts kernel time."""
+        t4 = run_ssc(4, 7645, "baseline", ppn=1).elapsed   # 64 nodes
+        t6 = run_ssc(6, 7645, "baseline", ppn=1).elapsed   # 216 nodes
+        assert t6 < t4
+
+
+class TestHardwareScaling:
+    def test_infinite_network_leaves_compute_floor(self):
+        """With a near-infinite network the kernel time approaches the two
+        local multiplies — communication was everything else."""
+        fast_net = NetworkParams(
+            nic_bandwidth=1e15, process_injection_bandwidth=1e15,
+            shm_bandwidth=1e15, shm_flow_cap=1e15,
+            combine_bandwidth=1e15, round_copy_bandwidth=1e15,
+            eager_copy_bandwidth=1e15,
+            alpha=1e-12, shm_alpha=1e-12, rendezvous_extra=0.0,
+            blocking_round_gap=0.0, send_overhead=0.0, recv_overhead=0.0,
+            ibcast_post_seconds=0.0, ireduce_post_base=0.0,
+            ireduce_post_per_byte=0.0,
+        )
+        n, p = 7645, 4
+        machine = MachineParams()
+        r = run_ssc(p, n, "baseline", params=fast_net, machine=machine)
+        block = -(-n // p)
+        mm_floor = 2 * (2.0 * block**3) / machine.node_flops
+        assert r.elapsed == pytest.approx(mm_floor, rel=0.05)
+
+    def test_infinite_compute_leaves_comm_floor(self):
+        """With infinite flops the kernel time is pure communication and
+        the overlap gain is at its largest."""
+        machine = MachineParams(node_flops=1e20)
+        tb = run_ssc(4, 7645, "baseline", machine=machine).elapsed
+        to = run_ssc(4, 7645, "optimized", n_dup=4, machine=machine).elapsed
+        tb_real = run_ssc(4, 7645, "baseline").elapsed
+        assert tb < tb_real              # compute removed
+        assert tb / to > 1.25            # overlap gain grows comm-only
+
+    def test_flops_metric_consistent_across_kernels(self):
+        n = SYSTEMS["1hsg_70"][0]
+        r3d = run_ssc(4, n, "baseline")
+        r25d = run_ssc25d(8, 2, n, ppn=2)
+        for r in (r3d, r25d):
+            assert r.tflops == pytest.approx(
+                ssc_flops(n) / r.elapsed / 1e12
+            )
+
+
+class TestPurificationScaling:
+    def test_ssc_dominates_purification_iteration(self):
+        """The paper treats SymmSquareCube as *the* purification kernel: the
+        trace-allreduce + update must be a small fraction of an iteration."""
+        from repro.purify import run_distributed_purification
+        res = run_distributed_purification(4, 7645, "baseline", iterations=2)
+        total = res.world.engine.now
+        ssc_total = sum(res.ssc_times)
+        assert ssc_total > 0.6 * total

@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine, SimEvent, SimulationError
+
+
+class TestEngineScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_callbacks_fire_in_time_order(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(2.0, lambda: seen.append("b"))
+        eng.call_after(1.0, lambda: seen.append("a"))
+        eng.call_after(3.0, lambda: seen.append("c"))
+        eng.run()
+        assert seen == ["a", "b", "c"]
+        assert eng.now == 3.0
+
+    def test_fifo_for_equal_timestamps(self):
+        eng = Engine()
+        seen = []
+        for i in range(20):
+            eng.call_after(1.0, lambda i=i: seen.append(i))
+        eng.run()
+        assert seen == list(range(20))
+
+    def test_nested_scheduling(self):
+        eng = Engine()
+        seen = []
+        def outer():
+            seen.append(("outer", eng.now))
+            eng.call_after(0.5, lambda: seen.append(("inner", eng.now)))
+        eng.call_after(1.0, outer)
+        eng.run()
+        assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_cannot_schedule_in_past(self):
+        eng = Engine()
+        eng.call_after(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().call_after(-1.0, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        eng = Engine()
+        seen = []
+        eng.call_after(1.0, lambda: seen.append(1))
+        eng.call_after(5.0, lambda: seen.append(5))
+        t = eng.run(until=2.0)
+        assert seen == [1]
+        assert t == 2.0
+        eng.run()
+        assert seen == [1, 5]
+
+    def test_run_until_beyond_last_event(self):
+        eng = Engine()
+        eng.call_after(1.0, lambda: None)
+        assert eng.run(until=10.0) == 10.0
+
+    def test_peek(self):
+        eng = Engine()
+        assert eng.peek() is None
+        eng.call_after(2.0, lambda: None)
+        assert eng.peek() == 2.0
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(7):
+            eng.call_after(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+    def test_exception_propagates(self):
+        eng = Engine()
+        def boom():
+            raise RuntimeError("boom")
+        eng.call_after(1.0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            eng.run()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=50))
+    def test_property_fires_sorted(self, delays):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.call_after(d, lambda d=d: fired.append(eng.now))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestSimEvent:
+    def test_succeed_delivers_value(self):
+        eng = Engine()
+        ev = eng.event("e")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        assert got == [42]
+        assert ev.fired and ev.value == 42
+
+    def test_late_callback_runs_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("x")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == ["x"]
+
+    def test_double_fire_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fire_time_recorded(self):
+        eng = Engine()
+        ev = eng.event()
+        eng.call_after(3.0, lambda: ev.succeed())
+        eng.run()
+        assert ev.fire_time == 3.0
+
+    def test_timeout_helper(self):
+        eng = Engine()
+        ev = eng.timeout(2.5, value="done")
+        eng.run()
+        assert ev.fired and ev.value == "done"
+        assert eng.now == 2.5
+
+    def test_callbacks_in_registration_order(self):
+        eng = Engine()
+        ev = eng.event()
+        order = []
+        ev.add_callback(lambda e: order.append(1))
+        ev.add_callback(lambda e: order.append(2))
+        ev.succeed()
+        assert order == [1, 2]

@@ -1,0 +1,188 @@
+"""Unit tests for generator-coroutine processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import (
+    AllOf,
+    AnyOf,
+    Delay,
+    Interrupt,
+    SimProcess,
+    WaitEvent,
+    run_processes,
+)
+
+
+class TestDelay:
+    def test_delay_advances_clock(self):
+        def prog():
+            yield Delay(1.5)
+            yield Delay(2.5)
+            return "done"
+        t, (res,) = run_processes([("p", prog())])
+        assert t == 4.0 and res == "done"
+
+    def test_zero_delay_ok(self):
+        def prog():
+            yield Delay(0.0)
+            return 1
+        t, (res,) = run_processes([("p", prog())])
+        assert t == 0.0 and res == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_interleaving_two_processes(self):
+        log = []
+        eng = Engine()
+        def prog(name, step):
+            for i in range(3):
+                yield Delay(step)
+                log.append((name, eng.now))
+        run_processes([("a", prog("a", 1.0)), ("b", prog("b", 1.5))], engine=eng)
+        # At the t=3.0 tie, "b" resumes first: its wakeup was scheduled at
+        # t=1.5, before "a"'s at t=2.0 (FIFO order for equal timestamps).
+        assert log == [
+            ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0), ("b", 4.5)
+        ]
+
+
+class TestWaiting:
+    def test_wait_event_receives_value(self):
+        eng = Engine()
+        ev = eng.event()
+        eng.call_after(2.0, lambda: ev.succeed("payload"))
+        def prog():
+            got = yield WaitEvent(ev)
+            return got
+        _, (res,) = run_processes([("p", prog())], engine=eng)
+        assert res == "payload"
+
+    def test_bare_event_yield(self):
+        eng = Engine()
+        ev = eng.timeout(1.0, value=7)
+        def prog():
+            got = yield ev
+            return got
+        _, (res,) = run_processes([("p", prog())], engine=eng)
+        assert res == 7
+
+    def test_already_fired_event_resumes_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(9)
+        def prog():
+            got = yield ev
+            return (got, eng.now)
+        _, (res,) = run_processes([("p", prog())], engine=eng)
+        assert res == (9, 0.0)
+
+    def test_all_of(self):
+        eng = Engine()
+        evs = [eng.timeout(t, value=t) for t in (3.0, 1.0, 2.0)]
+        def prog():
+            vals = yield AllOf(evs)
+            return (vals, eng.now)
+        _, (res,) = run_processes([("p", prog())], engine=eng)
+        assert res == ([3.0, 1.0, 2.0], 3.0)
+
+    def test_all_of_empty(self):
+        def prog():
+            vals = yield AllOf([])
+            return vals
+        _, (res,) = run_processes([("p", prog())])
+        assert res == []
+
+    def test_any_of_returns_first(self):
+        eng = Engine()
+        evs = [eng.timeout(3.0, value="slow"), eng.timeout(1.0, value="fast")]
+        def prog():
+            idx, val = yield AnyOf(evs)
+            return (idx, val, eng.now)
+        _, (res,) = run_processes([("p", prog())], engine=eng)
+        assert res == (1, "fast", 1.0)
+
+    def test_any_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+    def test_yield_from_subgenerator(self):
+        def sub(x):
+            yield Delay(1.0)
+            return x * 2
+        def prog():
+            a = yield from sub(3)
+            b = yield from sub(a)
+            return b
+        t, (res,) = run_processes([("p", prog())])
+        assert res == 12 and t == 2.0
+
+
+class TestErrorsAndControl:
+    def test_exception_wrapped_with_process_name(self):
+        def prog():
+            yield Delay(1.0)
+            raise ValueError("inner")
+        with pytest.raises(SimulationError, match="myproc"):
+            run_processes([("myproc", prog())])
+
+    def test_invalid_syscall_rejected(self):
+        def prog():
+            yield 42
+        with pytest.raises(SimulationError, match="invalid syscall"):
+            run_processes([("p", prog())])
+
+    def test_deadlock_detected(self):
+        eng = Engine()
+        ev = eng.event()  # never fires
+        def prog():
+            yield ev
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_processes([("p", prog())], engine=eng)
+
+    def test_interrupt_terminates_waiting_process(self):
+        eng = Engine()
+        ev = eng.event()
+        def prog():
+            yield ev
+            return "never"
+        proc = SimProcess(eng, prog(), name="p")
+        proc.interrupt()
+        eng.run()
+        assert proc.done.fired and proc.done.value is None
+
+    def test_interrupt_catchable(self):
+        eng = Engine()
+        ev = eng.event()
+        def prog():
+            try:
+                yield ev
+            except Interrupt:
+                return "cleaned up"
+        proc = SimProcess(eng, prog(), name="p")
+        proc.interrupt()
+        eng.run()
+        assert proc.done.value == "cleaned up"
+
+    def test_interrupt_after_done_is_noop(self):
+        eng = Engine()
+        def prog():
+            yield Delay(1.0)
+            return "ok"
+        proc = SimProcess(eng, prog(), name="p")
+        eng.run()
+        proc.interrupt()
+        eng.run()
+        assert proc.done.value == "ok"
+
+    def test_many_processes_deterministic(self):
+        def make(i):
+            def prog():
+                yield Delay(float(i % 5))
+                return i
+            return prog()
+        t, results = run_processes([(f"p{i}", make(i)) for i in range(100)])
+        assert results == list(range(100))
+        assert t == 4.0

@@ -1,0 +1,81 @@
+"""Unit tests for timeline tracing (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim.trace import SpanKind, Trace, TraceRecord
+
+
+class TestTrace:
+    def test_add_and_query(self):
+        tr = Trace()
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "ibcast")
+        tr.add(0, 1.0, 3.0, SpanKind.WAIT, "wait ibcast")
+        tr.add(1, 0.0, 2.0, SpanKind.COMPUTE, "gemm")
+        assert len(tr.records) == 3
+        assert [r.label for r in tr.for_rank(0)] == ["ibcast", "wait ibcast"]
+        assert tr.total(0, SpanKind.WAIT) == 2.0
+        assert tr.total(1, SpanKind.COMPUTE) == 2.0
+        assert tr.total(1, SpanKind.WAIT) == 0.0
+
+    def test_disabled_trace_is_noop(self):
+        tr = Trace(enabled=False)
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "x")
+        assert tr.records == []
+
+    def test_invalid_span_rejected(self):
+        tr = Trace()
+        with pytest.raises(ValueError):
+            tr.add(0, 2.0, 1.0, SpanKind.POST, "backwards")
+
+    def test_by_label_prefix(self):
+        tr = Trace()
+        tr.add(0, 0, 1, SpanKind.MISC, "flow->r1")
+        tr.add(0, 0, 1, SpanKind.MISC, "flow->r2")
+        tr.add(0, 0, 1, SpanKind.MISC, "other")
+        assert len(tr.by_label("flow->")) == 2
+
+    def test_duration_property(self):
+        r = TraceRecord(0, 1.0, 4.0, SpanKind.WAIT, "w")
+        assert r.duration == 3.0
+
+    def test_clear(self):
+        tr = Trace()
+        tr.add(0, 0, 1, SpanKind.MISC, "x")
+        tr.clear()
+        assert tr.records == []
+
+    def test_meta_kwargs(self):
+        tr = Trace()
+        tr.add(0, 0, 1, SpanKind.TRANSFER, "f", nbytes=100)
+        assert tr.records[0].meta == {"nbytes": 100}
+
+
+class TestGantt:
+    def test_empty(self):
+        assert Trace().render_gantt() == "(empty trace)\n"
+
+    def test_renders_all_spans(self):
+        tr = Trace()
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "post")
+        tr.add(1, 0.5, 2.0, SpanKind.WAIT, "wait")
+        out = tr.render_gantt()
+        assert out.count("\n") == 2
+        assert "post" in out and "wait" in out
+        assert "r0" in out and "r1" in out
+
+    def test_rank_filter(self):
+        tr = Trace()
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "a")
+        tr.add(1, 0.0, 1.0, SpanKind.POST, "b")
+        out = tr.render_gantt(ranks=[1])
+        assert "b" in out and "a [" not in out
+
+    def test_glyphs_distinct(self):
+        tr = Trace()
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "p")
+        tr.add(0, 1.0, 2.0, SpanKind.WAIT, "w")
+        tr.add(0, 2.0, 3.0, SpanKind.COMPUTE, "c")
+        tr.add(0, 3.0, 4.0, SpanKind.TRANSFER, "t")
+        out = tr.render_gantt()
+        for glyph in "#.*=":
+            assert glyph in out

@@ -1,0 +1,131 @@
+"""Tests for the §VI extension: CG with overlapped reductions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers import laplacian_1d_matvec_dense, run_cg
+
+
+def dense_laplacian(n):
+    return 2 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+
+
+class TestReference:
+    def test_matvec_dense_matches_matrix(self, rng):
+        n = 50
+        v = rng.standard_normal(n)
+        assert np.allclose(laplacian_1d_matvec_dense(v), dense_laplacian(n) @ v)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("variant", ["classic", "pipelined"])
+    @pytest.mark.parametrize("num_ranks", [1, 2, 4, 7])
+    def test_solves_system(self, rng, variant, num_ranks):
+        n = 120
+        b = rng.standard_normal(n)
+        xref = np.linalg.solve(dense_laplacian(n), b)
+        res = run_cg(num_ranks, n, variant, b, tol=1e-10, maxiter=1500)
+        assert res.residual < 1e-8
+        assert np.abs(res.x - xref).max() < 1e-4
+
+    def test_variants_take_similar_iterations(self, rng):
+        n = 80
+        b = rng.standard_normal(n)
+        rc = run_cg(4, n, "classic", b, tol=1e-9, maxiter=1000)
+        rp = run_cg(4, n, "pipelined", b, tol=1e-9, maxiter=1000)
+        # Mathematically equivalent recurrences (modest float divergence).
+        assert abs(rc.iterations - rp.iterations) <= 5
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(8, 100), p=st.integers(1, 5), seed=st.integers(0, 2**31))
+    def test_property_random_rhs(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(n)
+        res = run_cg(p, n, "pipelined", b, tol=1e-10, maxiter=2000)
+        assert res.residual < 1e-7
+
+
+class TestTimingShape:
+    def test_pipelined_faster_at_scale(self):
+        tc = run_cg(64, 64 * 20_000, "classic", maxiter=20, ppn=4)
+        tp = run_cg(64, 64 * 20_000, "pipelined", maxiter=20, ppn=4)
+        assert tp.time_per_iteration < 0.7 * tc.time_per_iteration
+
+    def test_classic_iteration_cost_grows_with_ranks(self):
+        t_small = run_cg(8, 8 * 20_000, "classic", maxiter=20, ppn=2)
+        t_big = run_cg(128, 128 * 20_000, "classic", maxiter=20, ppn=8)
+        assert t_big.time_per_iteration > t_small.time_per_iteration
+
+    def test_modeled_runs_fixed_iterations(self):
+        res = run_cg(8, 8 * 1000, "classic", maxiter=7)
+        assert res.iterations == 7
+        assert res.x is None and res.residual is None
+
+
+class TestValidation:
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            run_cg(2, 10, "turbo")
+
+    def test_rhs_length_checked(self):
+        with pytest.raises(ValueError):
+            run_cg(2, 10, "classic", np.zeros(5))
+
+    def test_positive_args(self):
+        with pytest.raises(ValueError):
+            run_cg(0, 10)
+        with pytest.raises(ValueError):
+            run_cg(2, 0)
+
+
+class TestBlockCG:
+    @pytest.mark.parametrize("variant", ["classic", "pipelined"])
+    @pytest.mark.parametrize("num_ranks", [1, 2, 5])
+    def test_solves_all_columns(self, rng, variant, num_ranks):
+        from repro.solvers import run_block_cg
+        n, s = 120, 3
+        b = rng.standard_normal((n, s))
+        xref = np.linalg.solve(dense_laplacian(n), b)
+        res = run_block_cg(num_ranks, n, s, variant, b, tol=1e-10, maxiter=1000)
+        assert res.residual < 1e-8
+        assert np.abs(res.x - xref).max() < 1e-4
+
+    def test_variants_agree(self, rng):
+        from repro.solvers import run_block_cg
+        n, s = 100, 4
+        b = rng.standard_normal((n, s))
+        rc = run_block_cg(4, n, s, "classic", b, tol=1e-10)
+        rp = run_block_cg(4, n, s, "pipelined", b, tol=1e-10)
+        assert abs(rc.iterations - rp.iterations) <= 4
+        assert np.abs(rc.x - rp.x).max() < 1e-6
+
+    def test_block_beats_column_by_column_iterations(self, rng):
+        """Block CG's shared Krylov space converges in fewer iterations than
+        the worst single-RHS solve (the point of the block method)."""
+        from repro.solvers import run_block_cg
+        n, s = 150, 4
+        b = rng.standard_normal((n, s))
+        rb = run_block_cg(2, n, s, "classic", b, tol=1e-9, maxiter=2000)
+        worst_single = max(
+            run_cg(2, n, "classic", b[:, c], tol=1e-9, maxiter=2000).iterations
+            for c in range(s)
+        )
+        assert rb.iterations <= worst_single
+
+    def test_pipelined_faster_at_scale(self):
+        from repro.solvers import run_block_cg
+        tc = run_block_cg(64, 64 * 20_000, 8, "classic", maxiter=20,
+                          ppn=4).time_per_iteration
+        tp = run_block_cg(64, 64 * 20_000, 8, "pipelined", maxiter=20,
+                          ppn=4).time_per_iteration
+        assert tp < 0.75 * tc
+
+    def test_validation(self, rng):
+        from repro.solvers import run_block_cg
+        with pytest.raises(ValueError, match="variant"):
+            run_block_cg(2, 10, 2, "warp")
+        with pytest.raises(ValueError):
+            run_block_cg(2, 10, 2, "classic", rng.standard_normal((10, 3)))
+        with pytest.raises(ValueError):
+            run_block_cg(2, 10, 0)

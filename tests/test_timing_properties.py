@@ -1,0 +1,160 @@
+"""Property-based tests on simulation *timing* invariants.
+
+Data correctness is covered elsewhere; these check that the timing model
+behaves like a physical network: monotone in message size, monotone in
+communicator size for synchronizing operations, insensitive to payload
+content, and exactly reproducible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import World
+from repro.netmodel import NetworkParams, block_placement
+from repro.util import KIB, MIB
+
+from tests.conftest import make_world, run_program
+
+
+def bcast_time(p, nbytes, ppn=1, params=None):
+    world = World(block_placement(p, ppn), params=params)
+    comm = world.comm_world
+    def program(env):
+        v = env.view(comm)
+        yield from v.bcast(nbytes=nbytes, root=0)
+    world.spawn_all(program)
+    return world.run()
+
+
+def reduce_time(p, nbytes, ppn=1):
+    world = World(block_placement(p, ppn))
+    comm = world.comm_world
+    def program(env):
+        v = env.view(comm)
+        yield from v.reduce(nbytes=nbytes, root=0)
+    world.spawn_all(program)
+    return world.run()
+
+
+def barrier_time(p, ppn=1):
+    world = World(block_placement(p, ppn))
+    comm = world.comm_world
+    def program(env):
+        v = env.view(comm)
+        yield from v.barrier()
+    world.spawn_all(program)
+    return world.run()
+
+
+class TestMonotonicity:
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.integers(2, 9), nbytes=st.integers(1, 4 * MIB))
+    def test_bcast_time_monotone_in_size(self, p, nbytes):
+        assert bcast_time(p, nbytes) <= bcast_time(p, nbytes + 64 * KIB) + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(nbytes=st.sampled_from([1 * KIB, 256 * KIB, 4 * MIB]),
+           p=st.integers(2, 8))
+    def test_reduce_no_faster_than_bcast(self, nbytes, p):
+        """Reduction adds combine work on top of transfer everywhere."""
+        assert reduce_time(p, nbytes) >= 0.95 * bcast_time(p, nbytes)
+
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.integers(2, 12))
+    def test_barrier_grows_with_ranks(self, p):
+        assert barrier_time(2 * p) >= barrier_time(p) * 0.99
+
+    def test_bcast_latency_floor(self):
+        """Even a 1-byte broadcast pays at least one network latency."""
+        params = NetworkParams()
+        assert bcast_time(2, 1) >= params.alpha
+
+    def test_intra_node_cheaper_than_inter_node(self):
+        n = 1 * MIB
+        t_shm = bcast_time(2, n, ppn=2)   # both ranks on one node
+        t_net = bcast_time(2, n, ppn=1)   # two nodes
+        assert t_shm < t_net
+
+
+class TestContentIndependence:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_timing_independent_of_payload_values(self, seed):
+        """Virtual time depends on sizes, never on the numbers inside."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(5000)
+
+        def run_with(buf_factory):
+            world = make_world(4)
+            comm = world.comm_world
+            def program(env):
+                v = env.view(comm)
+                buf = buf_factory() if env.rank == 0 else np.zeros(5000)
+                yield from v.bcast(buf, root=0)
+                yield from v.reduce(buf, root=0)
+            world.spawn_all(program)
+            return world.run()
+
+        t_random = run_with(lambda: data.copy())
+        t_zeros = run_with(lambda: np.zeros(5000))
+        assert t_random == t_zeros
+
+    def test_modeled_and_real_mode_same_time(self):
+        def run(real):
+            world = make_world(4)
+            comm = world.comm_world
+            def program(env):
+                v = env.view(comm)
+                if real:
+                    buf = np.ones(4096)
+                    yield from v.bcast(buf, root=0)
+                else:
+                    yield from v.bcast(nbytes=4096 * 8, root=0)
+            world.spawn_all(program)
+            return world.run()
+        assert run(True) == run(False)
+
+
+class TestReproducibility:
+    @settings(max_examples=10, deadline=None)
+    @given(p=st.integers(2, 8), nbytes=st.integers(1, 1 * MIB), ppn=st.integers(1, 4))
+    def test_bitwise_repeatable(self, p, nbytes, ppn):
+        assert bcast_time(p, nbytes, ppn) == bcast_time(p, nbytes, ppn)
+
+
+class TestOverlapBounds:
+    @settings(max_examples=10, deadline=None)
+    @given(n_dup=st.integers(1, 8), nbytes=st.sampled_from([256 * KIB, 4 * MIB]))
+    def test_overlap_never_worse_than_serializing_parts(self, n_dup, nbytes):
+        """N_DUP overlapped ibcasts finish no later than running the same
+        parts one after another (sanity upper bound)."""
+        from repro.mpi.requests import waitall
+
+        def overlapped():
+            world = make_world(4)
+            dups = world.comm_world.dup_many(n_dup)
+            part = nbytes // n_dup
+            def program(env):
+                reqs = []
+                for comm in dups:
+                    v = env.view(comm)
+                    r = yield from v.ibcast(nbytes=part, root=0)
+                    reqs.append(r)
+                yield from waitall(reqs)
+            world.spawn_all(program)
+            return world.run()
+
+        def serial():
+            world = make_world(4)
+            dups = world.comm_world.dup_many(n_dup)
+            part = nbytes // n_dup
+            def program(env):
+                for comm in dups:
+                    v = env.view(comm)
+                    r = yield from v.ibcast(nbytes=part, root=0)
+                    yield from r.wait()
+            world.spawn_all(program)
+            return world.run()
+
+        assert overlapped() <= serial() * 1.001

@@ -1,0 +1,108 @@
+"""Fine-grained tests of the p2p transport's matching and protocol states."""
+
+import pytest
+
+from repro.mpi import World
+from repro.mpi.transport import Transport
+from repro.netmodel import NetworkParams, block_placement
+from repro.sim.engine import Engine
+from repro.util import KIB, MIB
+
+
+def fresh_world(ppn=1, ranks=2, params=None):
+    return World(block_placement(ranks, ppn), params=params)
+
+
+class TestMatchingStates:
+    def test_send_first_then_recv(self):
+        world = fresh_world()
+        req_s = world.transport.post_send(1, 0, 1, ("u", 0), 100, "payload")
+        world.engine.run()  # eager flow lands, recv not yet posted
+        req_r = world.transport.post_recv(1, 1, 0, ("u", 0))
+        assert req_r.done.fired and req_r.result == "payload"
+        assert req_s.done.fired
+
+    def test_recv_first_then_send(self):
+        world = fresh_world()
+        req_r = world.transport.post_recv(1, 1, 0, ("u", 0))
+        assert not req_r.done.fired
+        world.transport.post_send(1, 0, 1, ("u", 0), 100, "late")
+        world.engine.run()
+        assert req_r.result == "late"
+
+    def test_cid_isolation(self):
+        world = fresh_world()
+        world.transport.post_send(7, 0, 1, ("u", 0), 8, "on-7")
+        req = world.transport.post_recv(8, 1, 0, ("u", 0))
+        world.engine.run()
+        assert not req.done.fired  # different communicator context
+        ns, nr = world.transport.pending_counts()
+        assert ns == 1 and nr == 1
+
+    def test_fifo_multiple_pending_sends(self):
+        world = fresh_world()
+        for i in range(5):
+            world.transport.post_send(1, 0, 1, ("u", 3), 8, i)
+        world.engine.run()
+        got = []
+        for _ in range(5):
+            r = world.transport.post_recv(1, 1, 0, ("u", 3))
+            world.engine.run()
+            got.append(r.result)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_rendezvous_no_transfer_until_match(self):
+        params = NetworkParams()
+        world = fresh_world(params=params)
+        n = 4 * MIB
+        req_s = world.transport.post_send(1, 0, 1, ("u", 0), n, None)
+        world.engine.run()
+        # Unmatched rendezvous: no bytes moved, send incomplete.
+        assert world.fabric.inter_node_bytes == 0
+        assert not req_s.done.fired
+        req_r = world.transport.post_recv(1, 1, 0, ("u", 0))
+        world.engine.run()
+        assert req_s.done.fired and req_r.done.fired
+        assert world.fabric.inter_node_bytes == n
+
+    def test_eager_transfers_immediately(self):
+        world = fresh_world()
+        world.transport.post_send(1, 0, 1, ("u", 0), 1 * KIB, None)
+        world.engine.run()
+        assert world.fabric.inter_node_bytes == 1 * KIB
+
+    def test_negative_size_rejected(self):
+        world = fresh_world()
+        with pytest.raises(ValueError):
+            world.transport.post_send(1, 0, 1, ("u", 0), -5, None)
+
+
+class TestProtocolTiming:
+    def test_rendezvous_pays_handshake(self):
+        base = NetworkParams(rendezvous_extra=0.0)
+        slow = NetworkParams(rendezvous_extra=1e-3)
+        n = 1 * MIB
+
+        def time_with(params):
+            world = fresh_world(params=params)
+            world.transport.post_recv(1, 1, 0, ("u", 0))
+            world.transport.post_send(1, 0, 1, ("u", 0), n, None)
+            return world.engine.run()
+
+        assert time_with(slow) == pytest.approx(time_with(base) + 1e-3)
+
+    def test_eager_threshold_boundary_is_eager(self):
+        params = NetworkParams()
+        world = fresh_world(params=params)
+        n = params.rendezvous_threshold  # inclusive eager boundary
+        req = world.transport.post_send(1, 0, 1, ("u", 0), n, None)
+        assert req.done.fired  # eager sends complete at posting
+
+    def test_one_byte_over_threshold_is_rendezvous(self):
+        params = NetworkParams()
+        world = fresh_world(params=params)
+        req = world.transport.post_send(
+            1, 0, 1, ("u", 0), params.rendezvous_threshold + 1, None
+        )
+        world.engine.run()
+        assert not req.done.fired

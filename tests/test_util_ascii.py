@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.util.ascii import hbar_chart, series_chart
+
+
+class TestHBar:
+    def test_basic_render(self):
+        out = hbar_chart(["a", "bb"], [10.0, 20.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert lines[1].count("#") == 10  # max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_shared_scale(self):
+        out = hbar_chart(["x"], [5.0], width=10, max_value=50.0)
+        assert out.count("#") == 1
+
+    def test_zero_values(self):
+        out = hbar_chart(["z"], [0.0], width=10)
+        assert "#" not in out
+
+    def test_small_positive_gets_one_glyph(self):
+        out = hbar_chart(["tiny", "big"], [1e-9, 100.0], width=10)
+        assert out.splitlines()[0].count("#") == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [-1.0])
+
+    def test_empty(self):
+        assert hbar_chart([], []) == "(empty chart)\n"
+
+    def test_value_formatting(self):
+        out = hbar_chart(["a"], [1234.5], fmt="{:.1f}")
+        assert "1234.5" in out
+
+
+class TestSeries:
+    def test_structure(self):
+        out = series_chart([1, 2], {"s1": [1.0, 2.0], "s2": [2.0, 4.0]}, width=8)
+        lines = out.splitlines()
+        assert lines[0] == "1:"
+        assert sum(1 for l in lines if l.endswith(":")) == 2
+        assert sum(1 for l in lines if "|" in l) == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_chart([1], {"s": [1.0, 2.0]})
+
+    def test_empty(self):
+        assert series_chart([1], {}) == "(empty chart)\n"
+
+    def test_custom_x_format(self):
+        out = series_chart([1024], {"s": [1.0]}, x_fmt=lambda x: f"{x}B")
+        assert "1024B:" in out

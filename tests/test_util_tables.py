@@ -1,0 +1,63 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util import Table, format_series
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long header"], title="T")
+        t.add_row([1, 2.5])
+        t.add_row(["xxxx", 3])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "long header" in lines[1]
+        assert len({len(line) for line in lines[1:] if line}) <= 2
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([0.000123456])
+        t.add_row([123456.0])
+        t.add_row([1.5])
+        t.add_row([0.0])
+        cells = t.column("x")
+        assert cells[0] == "1.235e-04"
+        assert cells[1] == "1.235e+05"
+        assert cells[2] == "1.5"
+        assert cells[3] == "0"
+
+    def test_to_csv(self):
+        t = Table(["a", "b"])
+        t.add_row(["x,y", 1])
+        csv = t.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "x;y" in csv  # commas inside cells are sanitized
+
+    def test_column_accessor(self):
+        t = Table(["k", "v"])
+        t.add_row(["one", 1])
+        t.add_row(["two", 2])
+        assert t.column("k") == ["one", "two"]
+        with pytest.raises(ValueError):
+            t.column("missing")
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series([1, 2], ["a", "b"], xlabel="x", ylabel="y")
+        assert "x" in out and "y" in out and "a" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2], xlabel="x", ylabel="y")

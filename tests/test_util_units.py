@@ -1,0 +1,86 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    format_bandwidth,
+    format_size,
+    format_time,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_rounds(self):
+        assert parse_size(10.6) == 11
+
+    def test_bare_number_string(self):
+        assert parse_size("123") == 123
+
+    def test_decimal_units(self):
+        assert parse_size("1 KB") == 1000
+        assert parse_size("2MB") == 2 * MB
+        assert parse_size("3 gb") == 3 * GB
+
+    def test_binary_units(self):
+        assert parse_size("16 KiB") == 16 * KIB
+        assert parse_size("8MiB") == 8 * MIB
+        assert parse_size("1gib") == GIB
+
+    def test_fractional(self):
+        assert parse_size("0.5 KiB") == 512
+
+    def test_bytes_suffix(self):
+        assert parse_size("42 B") == 42
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_roundtrip_identity(self, n):
+        assert parse_size(n) == n
+
+
+class TestFormatting:
+    def test_format_size_binary(self):
+        assert format_size(8 * MIB) == "8.0 MiB"
+        assert format_size(512) == "512 B"
+        assert format_size(2 * GIB) == "2.0 GiB"
+
+    def test_format_size_decimal(self):
+        assert format_size(2 * MB, binary=False) == "2.0 MB"
+
+    def test_format_size_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-5)
+
+    def test_format_time_units(self):
+        assert format_time(1.5).endswith(" s")
+        assert format_time(2e-3).endswith(" ms")
+        assert format_time(3e-6).endswith(" us")
+        assert format_time(5e-9).endswith(" ns")
+        assert format_time(0.0) == "0.000 s"
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(12_000 * MB) == "12.00 GB/s"
+        assert format_bandwidth(500 * MB).endswith(" MB/s")
+
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_format_size_total(self, x):
+        out = format_size(x)
+        assert any(out.endswith(u) for u in ("B", "KiB", "MiB", "GiB"))

@@ -1,0 +1,72 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_type,
+    int_cbrt,
+    int_sqrt,
+    is_power_of_two,
+)
+
+
+class TestChecks:
+    def test_positive_accepts(self):
+        assert check_positive("x", 3) == 3
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_nonnegative(self):
+        assert check_nonnegative("x", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+    def test_in_range(self):
+        assert check_in_range("x", 5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_type(self):
+        assert check_type("x", 5, int) == 5
+        with pytest.raises(TypeError):
+            check_type("x", "5", int)
+
+
+class TestIntegerMath:
+    @given(st.integers(min_value=0, max_value=40))
+    def test_power_of_two_true(self, k):
+        assert is_power_of_two(1 << k)
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_power_of_two_consistent(self, n):
+        assert is_power_of_two(n) == (bin(n).count("1") == 1)
+
+    def test_power_of_two_edge(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_int_sqrt_roundtrip(self, r):
+        assert int_sqrt(r * r) == r
+
+    def test_int_sqrt_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            int_sqrt(2)
+        with pytest.raises(ValueError):
+            int_sqrt(-4)
+
+    @given(st.integers(min_value=0, max_value=10**4))
+    def test_int_cbrt_roundtrip(self, r):
+        assert int_cbrt(r**3) == r
+
+    def test_int_cbrt_rejects_noncube(self):
+        with pytest.raises(ValueError):
+            int_cbrt(9)
+        with pytest.raises(ValueError):
+            int_cbrt(-8)
