@@ -1,0 +1,11 @@
+"""Ablation — resilience of the overlap gains under injected fabric faults.
+
+Regenerates the experiment and asserts the qualitative targets; rendered
+rows go to ``benchmarks/results/ablation-faults.txt``.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ablation_faults(benchmark):
+    run_paper_experiment(benchmark, "ablation-faults")

@@ -54,6 +54,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "ablation_network",
         "sensitivity of the headline speedups to network-model constants",
     ),
+    "ablation-faults": (
+        "ablation_faults",
+        "resilience of the overlap gains under injected fabric faults",
+    ),
 }
 
 

@@ -40,11 +40,14 @@ from repro.mpi.requests import waitall
 from repro.mpi.world import RankEnv, World
 from repro.netmodel import MachineParams, NetworkParams, block_placement
 from repro.netmodel.topology import round_robin_placement
+from repro.sim.faults import FaultPlan
+from repro.sim.trace import SpanKind
 from repro.util import check_positive
 
 _TAG_D2 = 21
 _TAG_D3 = 22
 _TAG_TR = 23
+_TAG_FB = 24
 
 
 def ssc_flops(n: int) -> float:
@@ -424,6 +427,31 @@ def ssc_optimized_program(env: RankEnv, mesh: Mesh3D, n: int,
 
 
 # ---------------------------------------------------------------------------
+# graceful degradation under faults
+# ---------------------------------------------------------------------------
+
+
+def negotiate_fallback(env, gv, local_flag: bool):
+    """Generator: agree communicator-wide on a nonblocking->blocking fallback.
+
+    Ranks observe the fault state at slightly different virtual times, so a
+    purely local decision could split the mesh between Algorithm 5 and the
+    blocking baseline and deadlock.  Rank 0 gathers every rank's flag,
+    takes the OR, and distributes the verdict with 1-byte control messages
+    (a tiny, fully deterministic control round — its cost is modeled like
+    any other traffic).
+    """
+    flags = yield from gv.gather(data=bool(local_flag), nbytes=1, root=0)
+    if gv.rank == 0:
+        decision = any(flags)
+        for dst in range(1, gv.size):
+            yield from gv.send(dst, data=decision, nbytes=1, tag=_TAG_FB)
+        return decision
+    decision = yield from gv.recv(0, tag=_TAG_FB)
+    return bool(decision)
+
+
+# ---------------------------------------------------------------------------
 # convenience runner
 # ---------------------------------------------------------------------------
 
@@ -444,6 +472,7 @@ class SSCResult:
     n: int                         # matrix dimension
     world: World
     mesh: Mesh3D
+    fallbacks: int = 0             # iterations that degraded to the blocking baseline
 
     @property
     def elapsed(self) -> float:
@@ -469,6 +498,7 @@ def run_ssc(
     machine: MachineParams | None = None,
     placement: str = "block",
     trace: bool = False,
+    faults: FaultPlan | None = None,
 ) -> SSCResult:
     """Run ``iterations`` SymmSquareCube calls on a fresh ``p^3`` world.
 
@@ -481,6 +511,16 @@ def run_ssc(
     assembled ``D^2``/``D^3`` for the caller to check; modeled mode times the
     kernel at full paper scale without allocating matrix data.  Each call is
     preceded by a barrier and timed as the max across ranks.
+
+    ``faults`` attaches a :class:`~repro.sim.faults.FaultPlan`.  Under an
+    active plan the optimized algorithm degrades gracefully: before each
+    iteration the ranks agree (see :func:`negotiate_fallback`) on whether a
+    link-degradation window is active, and if so run the blocking baseline
+    for that iteration instead of the N_DUP nonblocking pipeline — the
+    duplicated communicators' independent channels are pointless on a
+    throttled link, and the blocking schedule is the safer citizen.  Fallen
+    back iterations are counted in ``SSCResult.fallbacks`` and recorded in
+    the trace as ``fallback:blocking`` MISC spans.
     """
     check_positive("p", p)
     check_positive("iterations", iterations)
@@ -499,7 +539,8 @@ def run_ssc(
         cluster = round_robin_placement(ranks, -(-ranks // ppn))
     else:
         raise ValueError(f"placement must be 'block' or 'round_robin', got {placement!r}")
-    world = World(cluster, params=params, machine=machine, trace=trace)
+    world = World(cluster, params=params, machine=machine, trace=trace,
+                  faults=faults)
     mesh = Mesh3D(world, p, n_dup=max(n_dup, 1))
     program_fn = _ALGORITHMS[algorithm]
 
@@ -513,16 +554,26 @@ def run_ssc(
         gv = env.view(mesh.global_comm)
         times = []
         result = None
+        fallbacks = 0
         for _ in range(iterations):
             yield from gv.barrier()
             t0 = env.now
-            if algorithm == "optimized":
+            fall_back = False
+            if algorithm == "optimized" and world.faults is not None:
+                flag = world.faults.link_degraded(env.now)
+                fall_back = yield from negotiate_fallback(env, gv, flag)
+            if fall_back:
+                fallbacks += 1
+                world.trace.add(env.rank, env.now, env.now, SpanKind.MISC,
+                                "fallback:blocking")
+                result = yield from ssc_baseline_program(env, mesh, n, d_blk, real)
+            elif algorithm == "optimized":
                 result = yield from program_fn(env, mesh, n, d_blk, real, n_dup)
             else:
                 result = yield from program_fn(env, mesh, n, d_blk, real)
             t1 = env.now
             times.append(t1 - t0)
-        return (times, result)
+        return (times, result, fallbacks)
 
     world.spawn_all(program, ranks=range(p**3))
     world.run()
@@ -530,6 +581,7 @@ def run_ssc(
     iter_times = [
         max(outs[r][0][it] for r in range(p**3)) for it in range(iterations)
     ]
+    fallbacks = max(outs[r][2] for r in range(p**3))
     d2 = d3 = None
     if real:
         d2 = np.zeros((n, n))
@@ -543,4 +595,5 @@ def run_ssc(
             clo, chi = block_range(j, n, p)
             d2[rlo:rhi, clo:chi] = blk2
             d3[rlo:rhi, clo:chi] = blk3
-    return SSCResult(d2=d2, d3=d3, times=iter_times, n=n, world=world, mesh=mesh)
+    return SSCResult(d2=d2, d3=d3, times=iter_times, n=n, world=world, mesh=mesh,
+                     fallbacks=fallbacks)

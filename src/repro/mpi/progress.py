@@ -16,18 +16,21 @@ back-to-back in submission order, one at a time.
 from __future__ import annotations
 
 from repro.sim.engine import Engine, SimEvent
+from repro.sim.faults import FaultPlan
 from repro.sim.trace import SpanKind, Trace
 
 
 class ProgressEngine:
     """FIFO serializer for one process's MPI-internal processing."""
 
-    __slots__ = ("engine", "rank", "trace", "busy_until", "total_busy")
+    __slots__ = ("engine", "rank", "trace", "busy_until", "total_busy", "faults")
 
-    def __init__(self, engine: Engine, rank: int, trace: Trace | None = None):
+    def __init__(self, engine: Engine, rank: int, trace: Trace | None = None,
+                 faults: FaultPlan | None = None):
         self.engine = engine
         self.rank = rank
         self.trace = trace
+        self.faults = faults
         self.busy_until = 0.0
         self.total_busy = 0.0
 
@@ -35,15 +38,20 @@ class ProgressEngine:
         """Enqueue ``duration`` seconds of processing; event fires when done.
 
         Zero-duration tasks complete immediately if the engine is idle (no
-        event round-trip), keeping barrier-like bookkeeping free.
+        event round-trip), keeping barrier-like bookkeeping free.  Straggler
+        windows of an attached FaultPlan dilate the queued work: the task
+        still occupies the single progress context, just for longer.
         """
         if duration < 0:
             raise ValueError(f"negative duration: {duration}")
         now = self.engine.now
         start = max(now, self.busy_until)
-        finish = start + duration
+        if self.faults is not None and duration > 0:
+            finish = self.faults.compute_finish(self.rank, start, duration)
+        else:
+            finish = start + duration
         self.busy_until = finish
-        self.total_busy += duration
+        self.total_busy += finish - start
         ev = self.engine.event(f"progress(r{self.rank},{label})")
         if self.trace is not None and self.trace.enabled and duration > 0:
             self.trace.add(self.rank, start, finish, SpanKind.COMPUTE, f"progress:{label}")

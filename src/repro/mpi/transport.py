@@ -19,6 +19,18 @@ The transport is *engine-driven*: posting functions are plain calls that
 return :class:`~repro.mpi.requests.Request` objects, so both user-level
 ``isend``/``irecv`` wrappers (which add CPU overheads) and collective
 schedules (driven by the progress machinery) share one code path.
+
+Fault injection: when the world carries a
+:class:`~repro.sim.faults.FaultPlan`, every payload transmission (the eager
+ship and the rendezvous transfer alike) first asks the plan whether it is
+dropped on the wire.  A dropped attempt is retransmitted after a timeout
+with bounded exponential backoff (:class:`~repro.sim.faults.RetryPolicy`);
+exhausting the retry budget raises — an undeliverable message is a
+liveness bug in the scenario, not something to hang on.  MPI semantics are
+preserved: an eager send still completes locally at post time (the loss is
+absorbed by the library's retransmission, invisible to the sender), and
+matching order is untouched because drops delay only the payload, never the
+envelope.
 """
 
 from __future__ import annotations
@@ -27,10 +39,13 @@ from collections import deque
 from typing import Any
 
 from repro.mpi.requests import Request
+from repro.sim.engine import SimulationError
+from repro.sim.trace import SpanKind
 
 
 class _SendState:
-    __slots__ = ("src", "dst", "nbytes", "data", "eager", "request", "arrived", "recv")
+    __slots__ = ("src", "dst", "nbytes", "data", "eager", "request", "arrived",
+                 "recv", "attempt")
 
     def __init__(self, src, dst, nbytes, data, eager, request):
         self.src = src
@@ -41,6 +56,7 @@ class _SendState:
         self.request = request
         self.arrived = False       # eager payload landed before recv posted
         self.recv: Request | None = None
+        self.attempt = 0           # dropped-transmission retry counter
 
 
 class Transport:
@@ -51,6 +67,9 @@ class Transport:
         # key -> deque of pending recv Requests / unmatched _SendStates
         self._recv_q: dict[tuple, deque] = {}
         self._send_q: dict[tuple, deque] = {}
+        # Fault-injection bookkeeping (stays zero without a FaultPlan).
+        self.dropped_transmissions = 0
+        self.retransmissions = 0
 
     # -- posting ---------------------------------------------------------------
 
@@ -79,8 +98,7 @@ class Transport:
         key = (cid, dst, src, tag)
         if eager:
             # Ship immediately; sender is free as soon as posted.
-            flow = self.world.fabric.transfer(src, dst, nbytes)
-            flow.add_callback(lambda _ev, s=state: self._eager_arrived(s))
+            self._transmit(state)
             done.succeed(None)
         rq = self._recv_q.get(key)
         if rq:
@@ -113,11 +131,41 @@ class Transport:
             # else: flow-completion callback delivers.
         else:
             # Rendezvous: transfer starts now that both sides are present.
-            flow = self.world.fabric.transfer(
+            self._transmit(state)
+
+    def _transmit(self, state: _SendState) -> None:
+        """Put a payload on the wire; dropped attempts retry with backoff."""
+        world = self.world
+        faults = world.faults
+        if faults is not None and faults.should_drop(
+            state.src, state.dst, world.engine.now
+        ):
+            self.dropped_transmissions += 1
+            state.attempt += 1
+            retry = faults.retry
+            if state.attempt > retry.max_attempts:
+                raise SimulationError(
+                    f"message r{state.src}->r{state.dst} ({state.nbytes}B) "
+                    f"dropped {state.attempt} times; retry budget exhausted"
+                )
+            delay = retry.delay(state.attempt)
+            self.retransmissions += 1
+            world.trace.add(
+                state.src, world.engine.now, world.engine.now + delay,
+                SpanKind.MISC, f"drop+retry#{state.attempt}->r{state.dst}",
+                nbytes=state.nbytes,
+            )
+            world.engine.call_after(delay, lambda s=state: self._transmit(s))
+            return
+        if state.eager:
+            flow = world.fabric.transfer(state.src, state.dst, state.nbytes)
+            flow.add_callback(lambda _ev, s=state: self._eager_arrived(s))
+        else:
+            flow = world.fabric.transfer(
                 state.src,
                 state.dst,
                 state.nbytes,
-                extra_latency=self.world.params.rendezvous_extra,
+                extra_latency=world.params.rendezvous_extra,
             )
             flow.add_callback(lambda _ev, s=state: self._rendezvous_done(s))
 
@@ -143,3 +191,10 @@ class Transport:
         ns = sum(len(q) for q in self._send_q.values())
         nr = sum(len(q) for q in self._recv_q.values())
         return ns, nr
+
+    def fault_stats(self) -> dict:
+        """Drop/retry counters accumulated under an active FaultPlan."""
+        return {
+            "dropped_transmissions": self.dropped_transmissions,
+            "retransmissions": self.retransmissions,
+        }

@@ -28,6 +28,7 @@ from repro.netmodel.fabric import Fabric
 from repro.netmodel.params import MachineParams, NetworkParams
 from repro.netmodel.topology import Cluster
 from repro.sim.engine import Engine, SimulationError
+from repro.sim.faults import FaultPlan
 from repro.sim.process import Delay, SimProcess
 from repro.sim.trace import SpanKind, Trace
 
@@ -41,18 +42,23 @@ class World:
         params: NetworkParams | None = None,
         machine: MachineParams | None = None,
         trace: bool = False,
+        faults: FaultPlan | None = None,
     ):
         self.cluster = cluster
         self.params = params or NetworkParams()
         self.machine = machine or MachineParams()
         self.engine = Engine()
         self.trace = Trace(enabled=trace)
+        self.faults = faults
+        if faults is not None:
+            faults.reset()  # a reused plan replays identically in a new world
         self.fabric = Fabric(self.engine, cluster, self.params,
-                             self.trace if trace else None)
+                             self.trace if trace else None, faults=faults)
         self.transport = Transport(self)
         self._cid = 0
         self._progress = [
-            ProgressEngine(self.engine, r, self.trace if trace else None)
+            ProgressEngine(self.engine, r, self.trace if trace else None,
+                           faults=faults)
             for r in range(cluster.num_ranks)
         ]
         # Per-rank achieved GEMM rate: node throughput shared by co-resident
@@ -142,11 +148,18 @@ class RankEnv:
         return comm.contains(self.rank)
 
     def compute(self, seconds: float, label: str = "compute"):
-        """Generator: occupy this rank's CPU for ``seconds`` (traced)."""
+        """Generator: occupy this rank's CPU for ``seconds`` (traced).
+
+        Straggler windows of the world's FaultPlan dilate the busy span
+        (piecewise, so only the overlapping part runs slowed down).
+        """
         if seconds < 0:
             raise ValueError(f"negative compute time {seconds}")
         t0 = self.now
         if seconds > 0:
+            faults = self.world.faults
+            if faults is not None:
+                seconds = faults.compute_finish(self.rank, t0, seconds) - t0
             yield Delay(seconds)
         self.world.trace.add(self.rank, t0, self.now, SpanKind.COMPUTE, label)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.netmodel.params import NetworkParams
 from repro.netmodel.topology import Cluster
 from repro.sim.engine import Engine, SimEvent
+from repro.sim.faults import FaultPlan
 from repro.sim.trace import SpanKind, Trace
 
 _EPS_BYTES = 1e-6
@@ -88,11 +89,18 @@ class Fabric:
         cluster: Cluster,
         params: NetworkParams | None = None,
         trace: Trace | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.engine = engine
         self.cluster = cluster
         self.params = params or NetworkParams()
         self.trace = trace
+        self.faults = faults
+        if faults is not None:
+            # Re-share capacities at every degradation window edge so flows
+            # already in flight feel the throttle (and its lifting) mid-run.
+            for when in faults.link_boundaries():
+                engine.call_at(when, self._refresh_rates)
         self._flows_at: dict[tuple[str, int], set[Flow]] = {}
         self._next_fid = 0
         # Statistics (Table IV and the EXPERIMENTS report).
@@ -124,6 +132,10 @@ class Fabric:
         p = self.params
         src_node = self.cluster.node_of(src_rank)
         dst_node = self.cluster.node_of(dst_rank)
+        if self.faults is not None:
+            extra_latency += self.faults.jitter_latency(
+                src_node, dst_node, self.engine.now
+            )
         done = self.engine.event(f"flow(r{src_rank}->r{dst_rank},{nbytes:.0f}B)")
         self._next_fid += 1
         if src_node == dst_node:
@@ -204,7 +216,7 @@ class Fabric:
         self._update(flow.resources)
 
     def _share(self, key: tuple[str, int]) -> float:
-        kind, _owner = key
+        kind, owner = key
         count = len(self._flows_at.get(key, ()))
         if count == 0:
             return float("inf")
@@ -214,7 +226,15 @@ class Fabric:
             total = self.params.process_injection_bandwidth
         else:
             total = self.params.nic_bandwidth
+            if self.faults is not None:
+                total *= self.faults.bandwidth_factor(kind, owner, self.engine.now)
         return total / count
+
+    def _refresh_rates(self) -> None:
+        """Recompute every active flow's rate (a degradation window edge)."""
+        keys = tuple(k for k, flows in self._flows_at.items() if flows)
+        if keys:
+            self._update(keys)
 
     def _update(self, keys: tuple) -> None:
         """Recompute rates of every flow touching ``keys``; reschedule completions."""

@@ -13,6 +13,14 @@ exactly reproducible.
 """
 
 from repro.sim.engine import Engine, SimEvent, SimulationError
+from repro.sim.faults import (
+    FaultPlan,
+    LinkDegradation,
+    MessageDrop,
+    NicJitter,
+    RetryPolicy,
+    StragglerSlowdown,
+)
 from repro.sim.process import (
     SimProcess,
     Delay,
@@ -36,4 +44,10 @@ __all__ = [
     "Trace",
     "TraceRecord",
     "SpanKind",
+    "FaultPlan",
+    "LinkDegradation",
+    "StragglerSlowdown",
+    "NicJitter",
+    "MessageDrop",
+    "RetryPolicy",
 ]

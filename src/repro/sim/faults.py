@@ -1,0 +1,384 @@
+"""Deterministic, seed-driven fault injection for the simulated fabric.
+
+Real fabrics are not the ideal network the paper's overlap analysis assumes:
+links degrade under congestion, ranks straggle, NICs jitter, and packets are
+dropped.  This module describes such scenarios as data — a
+:class:`FaultPlan` composed of typed fault specs — that the simulator layers
+consult at well-defined hook points:
+
+:class:`LinkDegradation`
+    Multiplies one node's NIC capacity (``tx`` / ``rx`` / both) by a factor
+    in ``(0, 1]`` during a virtual-time window.  The fabric recomputes every
+    active flow's rate at the window edges, so degradation applies to flows
+    already in flight.
+:class:`StragglerSlowdown`
+    Dilates one rank's compute (GEMM charges and progress-engine work) by a
+    factor ``>= 1`` during a window; integration is piecewise, so a compute
+    span straddling a window edge is slowed only for the overlapping part.
+:class:`NicJitter`
+    Adds a deterministic pseudo-random extra latency (uniform in
+    ``[0, max_extra_latency)``) to every message touching a node during a
+    window.
+:class:`MessageDrop`
+    Drops matching point-to-point payload transmissions with a given
+    probability; the transport recovers via timeout + bounded exponential
+    backoff retry (:class:`RetryPolicy`).
+
+Determinism: every random decision (jitter samples, drop draws) is derived
+by hashing ``(seed, kind, spec index, identifying keys, per-key counter)``
+with BLAKE2b — no global RNG, no dependence on Python hash randomization —
+so a run with a given plan is bit-for-bit reproducible, which is what makes
+golden-trace and property-based chaos testing possible.  A plan carries
+mutable draw counters; :class:`~repro.mpi.world.World` calls :meth:`reset`
+at construction so the same plan object replays identically across runs.
+Attach a plan to only one live world at a time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "LinkDegradation",
+    "StragglerSlowdown",
+    "NicJitter",
+    "MessageDrop",
+    "RetryPolicy",
+]
+
+
+def _check_window(t_start: float, t_end: float) -> None:
+    if t_start < 0:
+        raise ValueError(f"fault window starts in negative time: {t_start}")
+    if not t_end > t_start:
+        raise ValueError(f"empty fault window: [{t_start}, {t_end})")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """One node's NIC bandwidth multiplied by ``factor`` over ``[t_start, t_end)``."""
+
+    node: int
+    t_start: float
+    t_end: float
+    factor: float
+    direction: str = "both"  # "tx", "rx" or "both"
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1]: {self.factor}")
+        if self.direction not in ("tx", "rx", "both"):
+            raise ValueError(f"direction must be tx/rx/both: {self.direction!r}")
+
+    def applies(self, kind: str, node: int, t: float) -> bool:
+        """True if this window throttles resource ``(kind, node)`` at time ``t``."""
+        return (
+            node == self.node
+            and self.t_start <= t < self.t_end
+            and (self.direction == "both" or self.direction == kind)
+        )
+
+
+@dataclass(frozen=True)
+class StragglerSlowdown:
+    """One rank's compute runs ``factor`` times slower over ``[t_start, t_end)``."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if self.factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1: {self.factor}")
+
+
+@dataclass(frozen=True)
+class NicJitter:
+    """Extra per-message latency in ``[0, max_extra_latency)`` at one node."""
+
+    node: int
+    t_start: float
+    t_end: float
+    max_extra_latency: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if self.max_extra_latency < 0:
+            raise ValueError(f"negative jitter bound: {self.max_extra_latency}")
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """Drop matching p2p transmissions with ``probability`` (per attempt).
+
+    ``src``/``dst`` of ``None`` match any rank.  ``max_drops`` bounds the
+    total number of drops this spec may cause (``None`` = unbounded), which
+    lets tests guarantee liveness independent of the retry budget.
+    """
+
+    src: int | None = None
+    dst: int | None = None
+    probability: float = 0.1
+    t_start: float = 0.0
+    t_end: float = math.inf
+    max_drops: int | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.t_start, self.t_end)
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"drop probability outside [0, 1]: {self.probability}")
+        if self.max_drops is not None and self.max_drops < 0:
+            raise ValueError(f"negative max_drops: {self.max_drops}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + bounded exponential backoff for dropped p2p transmissions.
+
+    Attempt ``k`` (1-based) of a retransmission waits
+    ``min(timeout * backoff**(k-1), max_delay)`` of virtual time before
+    re-entering the wire; after ``max_attempts`` consecutive drops the
+    transport raises (the message is undeliverable).
+    """
+
+    timeout: float = 200e-6
+    backoff: float = 2.0
+    max_delay: float = 20e-3
+    max_attempts: int = 12
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"retry timeout must be > 0: {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1: {self.backoff}")
+        if self.max_delay < self.timeout:
+            raise ValueError("max_delay must be >= timeout")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay before retransmission ``attempt`` (1-based)."""
+        return min(self.timeout * self.backoff ** (attempt - 1), self.max_delay)
+
+
+class FaultPlan:
+    """A deterministic schedule of fault specs plus the retry policy.
+
+    All queries take the current *virtual* time; random draws are derived
+    from ``seed`` (see module docstring), so two runs of the same scenario
+    agree bit-for-bit.
+    """
+
+    def __init__(self, specs=(), seed: int = 0, retry: RetryPolicy | None = None):
+        self.seed = int(seed)
+        self.retry = retry or RetryPolicy()
+        self.specs = tuple(specs)
+        self.links: tuple[LinkDegradation, ...] = tuple(
+            s for s in self.specs if isinstance(s, LinkDegradation)
+        )
+        self.stragglers: tuple[StragglerSlowdown, ...] = tuple(
+            s for s in self.specs if isinstance(s, StragglerSlowdown)
+        )
+        self.jitters: tuple[NicJitter, ...] = tuple(
+            s for s in self.specs if isinstance(s, NicJitter)
+        )
+        self.drops: tuple[MessageDrop, ...] = tuple(
+            s for s in self.specs if isinstance(s, MessageDrop)
+        )
+        known = len(self.links) + len(self.stragglers) + len(self.jitters) + len(self.drops)
+        if known != len(self.specs):
+            bad = [s for s in self.specs if not isinstance(
+                s, (LinkDegradation, StragglerSlowdown, NicJitter, MessageDrop))]
+            raise TypeError(f"unknown fault spec(s): {bad!r}")
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all draw counters so the plan replays identically."""
+        self._jitter_draws: dict[tuple[int, int], int] = {}
+        self._drop_draws: dict[tuple[int, int, int], int] = {}
+        self._drop_count: dict[int, int] = {}
+        self.total_drops = 0
+
+    # -- deterministic randomness ---------------------------------------------
+
+    def _hash01(self, *key) -> float:
+        """A reproducible uniform draw in [0, 1) keyed by ``(seed, *key)``."""
+        digest = hashlib.blake2b(
+            repr((self.seed,) + key).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    # -- link degradation (consumed by the fabric) ----------------------------
+
+    def bandwidth_factor(self, kind: str, node: int, t: float) -> float:
+        """Capacity multiplier for NIC resource ``(kind, node)`` at time ``t``."""
+        f = 1.0
+        for s in self.links:
+            if s.applies(kind, node, t):
+                f *= s.factor
+        return f
+
+    def link_boundaries(self) -> list[float]:
+        """Sorted finite times at which some link's capacity changes."""
+        times = set()
+        for s in self.links:
+            times.add(s.t_start)
+            if math.isfinite(s.t_end):
+                times.add(s.t_end)
+        return sorted(times)
+
+    def link_degraded(self, t: float) -> bool:
+        """True if any link-degradation window is active at time ``t``."""
+        return any(s.t_start <= t < s.t_end for s in self.links)
+
+    def degraded_nodes(self, t: float) -> set[int]:
+        """Nodes whose NIC is throttled at time ``t``."""
+        return {s.node for s in self.links if s.t_start <= t < s.t_end}
+
+    # -- straggler compute (consumed by RankEnv / ProgressEngine) -------------
+
+    def compute_finish(self, rank: int, t0: float, seconds: float) -> float:
+        """Finish time of ``seconds`` of nominal compute starting at ``t0``.
+
+        Piecewise integration over the rank's straggler windows: inside a
+        window the rank produces work at ``1 / factor`` of nominal speed
+        (overlapping windows multiply).
+        """
+        if seconds <= 0:
+            return t0
+        specs = [s for s in self.stragglers if s.rank == rank]
+        if not specs:
+            return t0 + seconds
+        bounds = sorted(
+            {b for s in specs for b in (s.t_start, s.t_end) if math.isfinite(b) and b > t0}
+        )
+        t, work = t0, seconds
+        for b in bounds:
+            f = 1.0
+            for s in specs:
+                if s.t_start <= t < s.t_end:
+                    f *= s.factor
+            if work * f <= b - t:
+                return t + work * f
+            work -= (b - t) / f
+            t = b
+        f = 1.0
+        for s in specs:
+            if s.t_start <= t < s.t_end:
+                f *= s.factor
+        return t + work * f
+
+    # -- NIC jitter (consumed by the fabric) ----------------------------------
+
+    def jitter_latency(self, src_node: int, dst_node: int, t: float) -> float:
+        """Deterministic extra latency for a message between two nodes."""
+        extra = 0.0
+        for idx, s in enumerate(self.jitters):
+            if not s.t_start <= t < s.t_end or s.max_extra_latency <= 0:
+                continue
+            for node in {src_node, dst_node}:
+                if node != s.node:
+                    continue
+                key = (idx, node)
+                n = self._jitter_draws.get(key, 0) + 1
+                self._jitter_draws[key] = n
+                extra += self._hash01("jitter", idx, node, n) * s.max_extra_latency
+        return extra
+
+    # -- message drop (consumed by the transport) -----------------------------
+
+    def should_drop(self, src: int, dst: int, t: float) -> bool:
+        """Decide whether this transmission attempt is lost on the wire."""
+        for idx, s in enumerate(self.drops):
+            if s.src is not None and s.src != src:
+                continue
+            if s.dst is not None and s.dst != dst:
+                continue
+            if not s.t_start <= t < s.t_end:
+                continue
+            if s.max_drops is not None and self._drop_count.get(idx, 0) >= s.max_drops:
+                continue
+            key = (idx, src, dst)
+            n = self._drop_draws.get(key, 0) + 1
+            self._drop_draws[key] = n
+            if self._hash01("drop", idx, src, dst, n) < s.probability:
+                self._drop_count[idx] = self._drop_count.get(idx, 0) + 1
+                self.total_drops += 1
+                return True
+        return False
+
+    # -- plan generation -------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        num_ranks: int,
+        num_nodes: int,
+        horizon: float,
+        kinds: tuple[str, ...] = ("link", "straggler", "jitter", "drop"),
+        retry: RetryPolicy | None = None,
+    ) -> "FaultPlan":
+        """A randomized plan drawn reproducibly from ``seed``.
+
+        Windows land inside ``[0, horizon)``; drop specs are bounded by
+        ``max_drops`` so any generated plan keeps every message deliverable
+        within the default retry budget.  Used by the property-based chaos
+        tests and the ``ablation-faults`` experiment.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0: {horizon}")
+        rng = np.random.default_rng(seed)
+        specs: list = []
+
+        def window():
+            t0 = float(rng.uniform(0.0, 0.6 * horizon))
+            dur = float(rng.uniform(0.15 * horizon, 0.6 * horizon))
+            return t0, t0 + dur
+
+        for kind in kinds:
+            for _ in range(int(rng.integers(1, 3))):
+                t0, t1 = window()
+                if kind == "link":
+                    specs.append(LinkDegradation(
+                        node=int(rng.integers(num_nodes)), t_start=t0, t_end=t1,
+                        factor=float(rng.uniform(0.25, 0.85)),
+                        direction=str(rng.choice(["tx", "rx", "both"])),
+                    ))
+                elif kind == "straggler":
+                    specs.append(StragglerSlowdown(
+                        rank=int(rng.integers(num_ranks)), t_start=t0, t_end=t1,
+                        factor=float(rng.uniform(1.5, 3.5)),
+                    ))
+                elif kind == "jitter":
+                    specs.append(NicJitter(
+                        node=int(rng.integers(num_nodes)), t_start=t0, t_end=t1,
+                        max_extra_latency=float(rng.uniform(2e-6, 25e-6)),
+                    ))
+                elif kind == "drop":
+                    specs.append(MessageDrop(
+                        src=None if rng.random() < 0.5 else int(rng.integers(num_ranks)),
+                        dst=None,
+                        probability=float(rng.uniform(0.05, 0.25)),
+                        t_start=0.0, t_end=math.inf,
+                        max_drops=int(rng.integers(1, 5)),
+                    ))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+        return cls(specs, seed=seed, retry=retry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultPlan seed={self.seed} links={len(self.links)} "
+            f"stragglers={len(self.stragglers)} jitters={len(self.jitters)} "
+            f"drops={len(self.drops)}>"
+        )

@@ -81,6 +81,40 @@ class Trace:
     def clear(self) -> None:
         self.records.clear()
 
+    def to_jsonable(self) -> list[dict]:
+        """Spans as plain JSON-serializable dicts, in recording order.
+
+        The golden-trace regression tests serialize a reference run with
+        this and later assert span-for-span equality, so refactors of the
+        engine or progress machinery cannot silently change timing
+        semantics.  Floats survive a ``json`` round-trip exactly (shortest
+        repr), so equality on the round-tripped form is bit-for-bit.
+        """
+        out = []
+        for r in self.records:
+            rec = {
+                "rank": r.rank,
+                "t0": r.t0,
+                "t1": r.t1,
+                "kind": r.kind.value,
+                "label": r.label,
+            }
+            if r.meta:
+                rec["meta"] = {k: r.meta[k] for k in sorted(r.meta)}
+            out.append(rec)
+        return out
+
+    @staticmethod
+    def records_from_jsonable(data: list[dict]) -> list[TraceRecord]:
+        """Inverse of :meth:`to_jsonable` (for fixture loading)."""
+        return [
+            TraceRecord(
+                d["rank"], d["t0"], d["t1"], SpanKind(d["kind"]), d["label"],
+                dict(d.get("meta", {})),
+            )
+            for d in data
+        ]
+
     def render_gantt(self, ranks: list[int] | None = None, width: int = 72) -> str:
         """ASCII Gantt rendering of the recorded spans (one line per span).
 

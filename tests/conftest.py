@@ -7,6 +7,7 @@ import pytest
 
 from repro.mpi.world import RankEnv, World
 from repro.netmodel import NetworkParams, block_placement
+from repro.netmodel.topology import round_robin_placement
 
 
 @pytest.fixture
@@ -14,9 +15,21 @@ def rng():
     return np.random.default_rng(12345)
 
 
-def make_world(num_ranks: int, ppn: int = 1, **kw) -> World:
-    """A world with the standard placement used across the tests."""
-    return World(block_placement(num_ranks, ppn), **kw)
+def make_world(num_ranks: int, ppn: int = 1, placement: str = "block", **kw) -> World:
+    """A world with the requested rank-to-node placement (default: block).
+
+    ``placement`` is ``"block"`` (the paper's natural map: consecutive ranks
+    share a node) or ``"round_robin"`` (consecutive ranks scattered across
+    the same node pool) — so placement-sensitive tests need not re-implement
+    this helper.
+    """
+    if placement == "block":
+        cluster = block_placement(num_ranks, ppn)
+    elif placement == "round_robin":
+        cluster = round_robin_placement(num_ranks, -(-num_ranks // ppn))
+    else:
+        raise ValueError(f"placement must be 'block' or 'round_robin': {placement!r}")
+    return World(cluster, **kw)
 
 
 def run_program(world: World, program, ranks=None):

@@ -1,0 +1,322 @@
+"""Unit tests for the deterministic fault-injection subsystem.
+
+Covers the spec/plan layer (validation, piecewise integration, bounded
+drops, reproducible draws) and each simulator hook: fabric bandwidth
+degradation and jitter, transport drop + retry/backoff, and straggler
+dilation of both rank compute and progress-engine work.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mpi.progress import ProgressEngine
+from repro.netmodel import NetworkParams, block_placement
+from repro.netmodel.fabric import Fabric
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.faults import (
+    FaultPlan,
+    LinkDegradation,
+    MessageDrop,
+    NicJitter,
+    RetryPolicy,
+    StragglerSlowdown,
+)
+
+from tests.conftest import make_world, run_program
+
+
+class TestSpecValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(node=0, t_start=1.0, t_end=1.0, factor=0.5)
+
+    def test_negative_window_start_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerSlowdown(rank=0, t_start=-1.0, t_end=1.0, factor=2.0)
+
+    def test_degradation_factor_bounds(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(node=0, t_start=0.0, t_end=1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(node=0, t_start=0.0, t_end=1.0, factor=1.5)
+
+    def test_degradation_direction_checked(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(node=0, t_start=0.0, t_end=1.0, factor=0.5,
+                            direction="sideways")
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerSlowdown(rank=0, t_start=0.0, t_end=1.0, factor=0.5)
+
+    def test_jitter_bound_nonnegative(self):
+        with pytest.raises(ValueError):
+            NicJitter(node=0, t_start=0.0, t_end=1.0, max_extra_latency=-1e-6)
+
+    def test_drop_probability_bounds(self):
+        with pytest.raises(ValueError):
+            MessageDrop(probability=1.5)
+
+    def test_plan_rejects_unknown_spec(self):
+        with pytest.raises(TypeError):
+            FaultPlan(["not a spec"])
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=1e-6, timeout=1e-3)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_retry_delay_backs_off_and_caps(self):
+        r = RetryPolicy(timeout=1e-3, backoff=2.0, max_delay=3e-3, max_attempts=8)
+        assert r.delay(1) == 1e-3
+        assert r.delay(2) == 2e-3
+        assert r.delay(3) == 3e-3  # capped, not 4e-3
+        assert r.delay(8) == 3e-3
+
+
+class TestComputeFinish:
+    PLAN = FaultPlan([StragglerSlowdown(rank=0, t_start=1.0, t_end=2.0, factor=2.0)])
+
+    def test_no_overlap_is_identity(self):
+        assert self.PLAN.compute_finish(0, 2.5, 1.0) == 3.5
+        assert self.PLAN.compute_finish(1, 1.0, 1.0) == 2.0  # other rank
+
+    def test_fully_inside_window(self):
+        assert self.PLAN.compute_finish(0, 1.0, 0.25) == 1.5
+
+    def test_straddles_window_start(self):
+        # 0.5s healthy work, then 0.5s of work at half speed -> 1s.
+        assert self.PLAN.compute_finish(0, 0.5, 1.0) == 2.0
+
+    def test_straddles_window_end(self):
+        # [1.5, 2.0) yields 0.25 work; remaining 0.75 runs healthy.
+        assert self.PLAN.compute_finish(0, 1.5, 1.0) == pytest.approx(2.75)
+
+    def test_overlapping_windows_multiply(self):
+        plan = FaultPlan([
+            StragglerSlowdown(rank=0, t_start=0.0, t_end=10.0, factor=2.0),
+            StragglerSlowdown(rank=0, t_start=0.0, t_end=10.0, factor=3.0),
+        ])
+        assert plan.compute_finish(0, 0.0, 1.0) == pytest.approx(6.0)
+
+    def test_zero_work(self):
+        assert self.PLAN.compute_finish(0, 1.5, 0.0) == 1.5
+
+
+class TestPlanQueries:
+    def test_bandwidth_factor_direction_and_window(self):
+        plan = FaultPlan([
+            LinkDegradation(node=0, t_start=1.0, t_end=2.0, factor=0.5,
+                            direction="tx"),
+            LinkDegradation(node=0, t_start=1.0, t_end=2.0, factor=0.5,
+                            direction="both"),
+        ])
+        assert plan.bandwidth_factor("tx", 0, 1.5) == pytest.approx(0.25)
+        assert plan.bandwidth_factor("rx", 0, 1.5) == pytest.approx(0.5)
+        assert plan.bandwidth_factor("tx", 0, 2.0) == 1.0  # half-open window
+        assert plan.bandwidth_factor("tx", 1, 1.5) == 1.0  # other node
+
+    def test_link_boundaries_sorted_finite(self):
+        plan = FaultPlan([
+            LinkDegradation(node=0, t_start=3.0, t_end=4.0, factor=0.5),
+            LinkDegradation(node=1, t_start=1.0, t_end=math.inf, factor=0.5),
+        ])
+        assert plan.link_boundaries() == [1.0, 3.0, 4.0]
+
+    def test_degraded_nodes(self):
+        plan = FaultPlan([LinkDegradation(node=2, t_start=0.0, t_end=1.0, factor=0.5)])
+        assert plan.link_degraded(0.5) and plan.degraded_nodes(0.5) == {2}
+        assert not plan.link_degraded(1.0) and plan.degraded_nodes(1.0) == set()
+
+    def test_drop_respects_filters_and_bound(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, probability=1.0, max_drops=2)])
+        assert not plan.should_drop(1, 0, 0.0)   # filtered pair
+        assert plan.should_drop(0, 1, 0.0)
+        assert plan.should_drop(0, 1, 0.0)
+        assert not plan.should_drop(0, 1, 0.0)   # max_drops reached
+        assert plan.total_drops == 2
+
+    def test_reset_replays_draws(self):
+        plan = FaultPlan([MessageDrop(probability=0.5, max_drops=100)], seed=7)
+        first = [plan.should_drop(0, 1, 0.0) for _ in range(50)]
+        plan.reset()
+        second = [plan.should_drop(0, 1, 0.0) for _ in range(50)]
+        assert first == second
+        assert any(first) and not all(first)  # draws actually vary
+
+    def test_jitter_bounded_and_reproducible(self):
+        plan = FaultPlan([NicJitter(node=0, t_start=0.0, t_end=1.0,
+                                    max_extra_latency=5e-6)], seed=3)
+        first = [plan.jitter_latency(0, 1, 0.0) for _ in range(20)]
+        assert all(0.0 <= x < 5e-6 for x in first)
+        assert len(set(first)) > 1
+        plan.reset()
+        assert [plan.jitter_latency(0, 1, 0.0) for _ in range(20)] == first
+        # Outside the window or away from the node: no jitter, no draw burn.
+        assert plan.jitter_latency(2, 3, 0.5) == 0.0
+        assert plan.jitter_latency(0, 1, 1.0) == 0.0
+
+    def test_random_plans_reproducible_and_valid(self):
+        a = FaultPlan.random(42, num_ranks=8, num_nodes=4, horizon=1e-3)
+        b = FaultPlan.random(42, num_ranks=8, num_nodes=4, horizon=1e-3)
+        assert a.specs == b.specs
+        assert a.links and a.stragglers and a.jitters and a.drops
+        assert all(d.max_drops is not None for d in a.drops)
+        c = FaultPlan.random(43, num_ranks=8, num_nodes=4, horizon=1e-3)
+        assert c.specs != a.specs
+
+    def test_random_plan_kind_subset(self):
+        plan = FaultPlan.random(1, num_ranks=4, num_nodes=2, horizon=1.0,
+                                kinds=("drop",))
+        assert plan.drops and not (plan.links or plan.stragglers or plan.jitters)
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, num_ranks=4, num_nodes=2, horizon=1.0,
+                             kinds=("gremlins",))
+        with pytest.raises(ValueError):
+            FaultPlan.random(1, num_ranks=4, num_nodes=2, horizon=0.0)
+
+
+class TestFabricHooks:
+    def _one_transfer(self, faults):
+        eng = Engine()
+        fabric = Fabric(eng, block_placement(2, 1), NetworkParams(), faults=faults)
+        done = fabric.transfer(0, 1, 8 * 2**20)
+        eng.run()
+        return done.fire_time
+
+    def test_degraded_link_slows_flow(self):
+        healthy = self._one_transfer(None)
+        slow = self._one_transfer(FaultPlan([
+            LinkDegradation(node=0, t_start=0.0, t_end=10.0, factor=0.25,
+                            direction="tx")]))
+        assert slow > 2.0 * healthy
+
+    def test_degradation_window_lifting_mid_flow(self):
+        # Window ends while the flow is in flight: the finish time must sit
+        # between the fully-degraded and the healthy completion.
+        healthy = self._one_transfer(None)
+        forever = self._one_transfer(FaultPlan([
+            LinkDegradation(node=0, t_start=0.0, t_end=1.0, factor=0.25)]))
+        lifting = self._one_transfer(FaultPlan([
+            LinkDegradation(node=0, t_start=0.0, t_end=healthy, factor=0.25)]))
+        assert healthy < lifting < forever
+
+    def test_degradation_window_starting_mid_flow(self):
+        healthy = self._one_transfer(None)
+        late = self._one_transfer(FaultPlan([
+            LinkDegradation(node=1, t_start=healthy / 2, t_end=1.0, factor=0.25,
+                            direction="rx")]))
+        assert late > healthy
+
+    def test_jitter_adds_latency(self):
+        healthy = self._one_transfer(None)
+        jittered = self._one_transfer(FaultPlan([
+            NicJitter(node=0, t_start=0.0, t_end=10.0, max_extra_latency=1e-3)],
+            seed=5))
+        assert healthy < jittered <= healthy + 2e-3
+
+    def test_rx_degradation_ignores_tx_only_traffic_direction(self):
+        # Degrading node 1's tx must not slow a 0 -> 1 transfer.
+        healthy = self._one_transfer(None)
+        other_dir = self._one_transfer(FaultPlan([
+            LinkDegradation(node=1, t_start=0.0, t_end=10.0, factor=0.25,
+                            direction="tx")]))
+        assert other_dir == pytest.approx(healthy)
+
+
+class TestTransportRetry:
+    def _pingpong_world(self, plan):
+        world = make_world(2, faults=plan)
+
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, data=123, nbytes=1024, tag=0)
+            else:
+                got = yield from comm.recv(0, tag=0)
+                return got
+        return world, program
+
+    def test_dropped_eager_message_retried_and_delivered(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, probability=1.0, max_drops=2)])
+        world, program = self._pingpong_world(plan)
+        elapsed, results = run_program(world, program)
+        assert results[1] == 123
+        assert world.transport.fault_stats() == {
+            "dropped_transmissions": 2, "retransmissions": 2}
+        # Both backoff delays are paid before the payload lands.
+        assert elapsed >= plan.retry.delay(1) + plan.retry.delay(2)
+
+    def test_dropped_rendezvous_message_retried(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, probability=1.0, max_drops=1)])
+        world = make_world(2, faults=plan)
+        payload = np.arange(32768.0)  # > rendezvous threshold
+
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, data=payload, tag=0)
+            else:
+                got = yield from comm.recv(0, tag=0)
+                return got
+        _, results = run_program(world, program)
+        assert np.array_equal(results[1], payload)
+        assert world.transport.dropped_transmissions == 1
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(
+            [MessageDrop(src=0, dst=1, probability=1.0)],
+            retry=RetryPolicy(max_attempts=3),
+        )
+        world, program = self._pingpong_world(plan)
+        with pytest.raises(SimulationError, match="retry budget exhausted"):
+            run_program(world, program)
+
+    def test_drop_trace_records_retry_spans(self):
+        plan = FaultPlan([MessageDrop(src=0, dst=1, probability=1.0, max_drops=2)])
+        world = make_world(2, faults=plan, trace=True)
+
+        def program(env):
+            comm = env.view(world.comm_world)
+            if env.rank == 0:
+                yield from comm.send(1, data=1, nbytes=8, tag=0)
+            else:
+                yield from comm.recv(0, tag=0)
+        run_program(world, program)
+        spans = world.trace.by_label("drop+retry")
+        assert len(spans) == 2
+        assert spans[0].label == "drop+retry#1->r1"
+        assert spans[1].t0 >= spans[0].t1  # backoff spans do not overlap
+
+
+class TestStragglerHooks:
+    def test_env_compute_dilated(self):
+        plan = FaultPlan([StragglerSlowdown(rank=0, t_start=0.0, t_end=10.0,
+                                            factor=3.0)])
+        world = make_world(2, faults=plan)
+
+        def program(env):
+            yield from env.compute(1e-3)
+            return env.now
+        _, results = run_program(world, program)
+        assert results[0] == pytest.approx(3e-3)
+        assert results[1] == pytest.approx(1e-3)  # non-straggler unaffected
+
+    def test_progress_engine_dilated(self):
+        plan = FaultPlan([StragglerSlowdown(rank=0, t_start=0.0, t_end=10.0,
+                                            factor=2.0)])
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0, faults=plan)
+        ev = pe.submit(1.0)
+        eng.run()
+        assert ev.fire_time == pytest.approx(2.0)
+        assert pe.total_busy == pytest.approx(2.0)

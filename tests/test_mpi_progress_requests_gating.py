@@ -57,6 +57,34 @@ class TestProgressEngine:
         assert not pe.idle_at(1.0)
         assert pe.idle_at(2.0)
 
+    def test_fifo_under_simultaneous_posts(self):
+        # Two independent callbacks scheduled for the same virtual time both
+        # submit work: the progress context must serialize them in posting
+        # order (engine FIFO tie-break), not interleave or reorder.
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        done = []
+        eng.call_at(1.0, lambda: pe.submit(2.0, "a").add_callback(
+            lambda e: done.append(("a", eng.now))))
+        eng.call_at(1.0, lambda: pe.submit(1.0, "b").add_callback(
+            lambda e: done.append(("b", eng.now))))
+        eng.run()
+        assert done == [("a", 3.0), ("b", 4.0)]
+
+    def test_zero_duration_posted_simultaneously_queues_in_order(self):
+        eng = Engine()
+        pe = ProgressEngine(eng, rank=0)
+        fired = []
+        def post_both():
+            pe.submit(1.0, "work").add_callback(lambda e: fired.append("work"))
+            zero = pe.submit(0.0, "probe")
+            zero.add_callback(lambda e: fired.append("probe"))
+            assert not zero.fired  # queued behind the simultaneous work
+        eng.call_at(5.0, post_both)
+        eng.run()
+        assert fired == ["work", "probe"]
+        assert eng.now == 6.0
+
 
 class TestRequests:
     def test_wait_returns_result(self):
@@ -96,6 +124,14 @@ class TestRequests:
             return out
         _, results = run_program(world, program)
         assert results == [[]]
+
+    def test_waitall_empty_outside_simulation(self):
+        # An empty MPI_Waitall needs no world at all: the generator returns
+        # [] immediately without yielding (and without touching any trace).
+        gen = waitall([])
+        with pytest.raises(StopIteration) as stop:
+            next(gen)
+        assert stop.value.value == []
 
     def test_waitall_order_preserved(self):
         world = make_world(2)

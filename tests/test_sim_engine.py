@@ -145,3 +145,23 @@ class TestSimEvent:
         ev.add_callback(lambda e: order.append(2))
         ev.succeed()
         assert order == [1, 2]
+
+    def test_double_fire_error_names_event_and_keeps_state(self):
+        eng = Engine()
+        ev = eng.event("the-culprit")
+        ev.succeed("first")
+        with pytest.raises(SimulationError, match="the-culprit"):
+            ev.succeed("second")
+        # The failed second fire must not clobber the delivered state.
+        assert ev.fired and ev.value == "first"
+
+    def test_double_fire_from_scheduled_callback_propagates(self):
+        # A buggy callback firing an event twice surfaces out of run() —
+        # the misuse is not swallowed by the heap loop.
+        eng = Engine()
+        ev = eng.event("e")
+        eng.call_after(1.0, ev.succeed)
+        eng.call_after(2.0, ev.succeed)
+        with pytest.raises(SimulationError, match="fired twice"):
+            eng.run()
+        assert eng.now == 2.0  # clock reached the offending callback
