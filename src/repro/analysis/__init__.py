@@ -1,0 +1,34 @@
+"""MPI correctness analysis: runtime verifier + static comm-lint.
+
+Two cooperating passes over the simulated-MPI stack:
+
+* :class:`CommVerifier` (``World(verify=True)``) — MUST/ISP-style runtime
+  checks: collective-sequence matching, request-leak / buffer-hazard /
+  tag-collision detection, unmatched p2p traffic, and a deadlock reporter
+  (check IDs ``RA101``-``RA107``);
+* :func:`lint_paths` (``python -m repro.analysis lint``) — stdlib-``ast``
+  checks that know the repo's generator protocol (``RA201``-``RA204``).
+
+See ``docs/analysis.md`` for every check ID with a minimal offending
+snippet.
+"""
+
+from repro.analysis.findings import (
+    CHECKS,
+    Finding,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint import lint_file, lint_paths, lint_source
+from repro.analysis.verifier import CommVerifier
+
+__all__ = [
+    "CHECKS",
+    "CommVerifier",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,74 @@
+"""CLI: ``python -m repro.analysis {lint,verify}``.
+
+``lint PATH...``
+    Static AST checks (RA2xx) over every ``.py`` file under the paths.
+    Exit 0 when clean, 1 when findings exist, 2 on usage errors.
+
+``verify``
+    Run the verified-kernel suite (all six SymmSquareCube/2.5D programs
+    plus the fault-injected run) under ``World(verify=True)`` and report
+    any runtime findings (RA1xx).  Same exit-code convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.findings import render_json, render_text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="MPI correctness analysis: static comm-lint and the "
+                    "runtime-verified kernel suite.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    lint_p = sub.add_parser("lint", help="static AST checks (RA2xx)")
+    lint_p.add_argument("paths", nargs="+", help="files or directories")
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    verify_p = sub.add_parser(
+        "verify", help="run the kernel suite under the runtime verifier")
+    verify_p.add_argument("--json", action="store_true",
+                          help="emit findings as JSON")
+    args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        from repro.analysis.lint import lint_paths
+
+        try:
+            findings = lint_paths(args.paths)
+        except FileNotFoundError as exc:
+            print(f"repro.analysis lint: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(render_json(findings))
+        elif findings:
+            print(render_text(findings))
+        else:
+            print("lint clean")
+        return 1 if findings else 0
+
+    if args.command == "verify":
+        from repro.analysis.suite import verify_suite
+
+        results = verify_suite()
+        all_findings = [f for fs in results.values() for f in fs]
+        if args.json:
+            print(render_json(all_findings))
+        else:
+            for name, fs in results.items():
+                status = "clean" if not fs else f"{len(fs)} finding(s)"
+                print(f"{name}: {status}")
+            if all_findings:
+                print(render_text(all_findings))
+        return 1 if all_findings else 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""Findings model shared by the runtime verifier and the static lint.
+
+Every check has a stable ID (``RA1xx`` runtime, ``RA2xx`` static) so that
+CI greps, docs and suppressions never chase renamed messages.  A
+:class:`Finding` pins one violation to a rank / virtual time / call site
+(runtime) or a file:line (static); the two reporters render the same list
+as human-readable text or as JSON for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+
+
+#: check id -> (kind, severity, one-line title)
+CHECKS: dict[str, tuple[str, str, str]] = {
+    "RA101": ("runtime", "error",
+              "collective sequence mismatch across communicator ranks"),
+    "RA102": ("runtime", "error",
+              "request leak: nonblocking operation never wait/test-completed"),
+    "RA103": ("runtime", "error",
+              "buffer hazard: buffer reused while a nonblocking op is in flight"),
+    "RA104": ("runtime", "error",
+              "unmatched point-to-point send/recv at program exit"),
+    "RA105": ("runtime", "warning",
+              "tag collision: concurrent identical p2p envelopes (FIFO-order dependent)"),
+    "RA106": ("runtime", "error",
+              "deadlock: event queue drained with ranks still suspended"),
+    "RA107": ("runtime", "error",
+              "waitany called with an empty request list"),
+    "RA201": ("static", "error",
+              "generator comm call without 'yield from'"),
+    "RA202": ("static", "error",
+              "Request returned by a nonblocking call is discarded"),
+    "RA203": ("static", "error",
+              "dup_many result indexed out of range of N_DUP"),
+    "RA204": ("static", "error",
+              "nondeterministic time/random use inside repro.sim / repro.mpi"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation reported by a check.
+
+    ``rank``/``time`` are set by runtime checks (``None`` for static ones);
+    ``site`` is a ``file:line`` / ``file:line in func`` location — the user
+    call site for runtime findings, the offending source line for lint ones.
+    """
+
+    check: str
+    message: str
+    rank: int | None = None
+    time: float | None = None
+    site: str | None = None
+    extra: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def severity(self) -> str:
+        return CHECKS[self.check][1]
+
+    @property
+    def title(self) -> str:
+        return CHECKS[self.check][2]
+
+    def to_jsonable(self) -> dict:
+        return {
+            "check": self.check,
+            "severity": self.severity,
+            "message": self.message,
+            "rank": self.rank,
+            "time": self.time,
+            "site": self.site,
+            "extra": dict(self.extra),
+        }
+
+    def render(self) -> str:
+        where = []
+        if self.site:
+            where.append(self.site)
+        if self.rank is not None:
+            where.append(f"rank {self.rank}")
+        if self.time is not None:
+            where.append(f"t={self.time:.9g}s")
+        loc = " | ".join(where)
+        head = f"{self.check} [{self.severity}]"
+        return f"{head} {loc}: {self.message}" if loc else f"{head}: {self.message}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report, one line per finding plus a summary line."""
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(f"{len(findings)} finding(s): {errors} error(s), "
+                 f"{warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable report (a JSON array of finding objects)."""
+    return json.dumps([f.to_jsonable() for f in findings], indent=1)
+
+
+_LIBRARY_DIRS = ("repro/mpi", "repro/analysis", "repro/sim")
+
+
+def call_site() -> str | None:
+    """Best-effort user call site: innermost stack frame outside the library.
+
+    Generator delegation (``yield from``) keeps the whole rank-program call
+    chain on the Python stack while a comm method executes, so walking
+    outward from the hook frame finds the program line that issued the
+    operation.  Pure introspection — never touches the simulation clock.
+    """
+    try:
+        stack = traceback.extract_stack()
+    except Exception:  # pragma: no cover - extract_stack does not fail
+        return None
+    for frame in reversed(stack[:-1]):
+        filename = frame.filename.replace("\\", "/")
+        if not any(d in filename for d in _LIBRARY_DIRS):
+            return f"{filename}:{frame.lineno} in {frame.name}"
+    return None

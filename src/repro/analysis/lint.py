@@ -1,0 +1,307 @@
+"""Static AST lint for generator rank programs (``repro.analysis lint``).
+
+The repo's MPI layer is built on generator coroutines: every communication
+verb (``bcast``, ``isend``, ``wait``, ...) is a generator that must be
+driven with ``yield from`` inside a rank program.  Forgetting the
+``yield from`` silently *skips the whole call* — Python just builds and
+discards a generator object — which is the single easiest way to write a
+schedule that looks right and communicates nothing.  These checks encode
+that protocol (plus two determinism rules) as stdlib-``ast`` passes:
+
+RA201  a known generator comm verb is called without ``yield from``
+       (only inside generator functions, where the protocol applies);
+RA202  ``yield from view.i*(...)`` as a bare statement — the returned
+       :class:`~repro.mpi.requests.Request` is discarded, so the operation
+       can never be waited on (a guaranteed RA102 at runtime);
+RA203  a ``dup_many(K)`` result indexed with a constant outside ``[-K, K)``;
+RA204  ``time``/``random`` (and unseeded ``numpy.random``) use inside
+       ``repro.sim`` / ``repro.mpi`` — wall-clock or global-RNG state would
+       break the simulator's bit-for-bit determinism.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections import deque
+
+from repro.analysis.findings import Finding
+
+#: methods of CommView / Request / RankEnv that are generator coroutines and
+#: therefore do nothing unless driven with ``yield from``.
+GENERATOR_METHODS = frozenset({
+    "send", "recv", "sendrecv",
+    "isend", "irecv",
+    "bcast", "ibcast",
+    "reduce", "ireduce",
+    "allreduce", "iallreduce",
+    "allgather", "iallgather",
+    "reduce_scatter", "ireduce_scatter",
+    "alltoall",
+    "barrier", "ibarrier",
+    "scatter", "gather",
+    "wait",
+    "compute", "compute_flops", "gemm", "sleep",
+})
+
+#: module-level generator helpers from :mod:`repro.mpi.requests`.
+GENERATOR_FUNCTIONS = frozenset({"waitall", "waitany"})
+
+#: calls returning a Request whose discard is always a bug.
+REQUEST_RETURNING = frozenset({
+    "isend", "irecv", "ibcast", "ireduce", "iallreduce", "iallgather",
+    "ireduce_scatter", "ibarrier",
+})
+
+#: ``time`` attributes that read the wall clock.
+_WALLCLOCK_ATTRS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time",
+})
+
+
+def _callable_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_generator_call_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    return (name in GENERATOR_METHODS or name in GENERATOR_FUNCTIONS
+            or name.endswith("_program"))
+
+
+def _own_statements(fn: ast.FunctionDef):
+    """Nodes of ``fn`` excluding bodies of nested function/class defs.
+
+    Breadth-first, so assignments are seen before uses nested inside later
+    statements (the RA203 bound table relies on this).
+    """
+    queue = deque(fn.body)
+    while queue:
+        node = queue.popleft()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator_fn(fn: ast.FunctionDef) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _own_statements(fn))
+
+
+class _FunctionLinter:
+    """RA201/RA202/RA203 over one generator function."""
+
+    def __init__(self, path: str, fn: ast.FunctionDef):
+        self.path = path
+        self.fn = fn
+        self.findings: list[Finding] = []
+
+    def _site(self, node: ast.AST) -> str:
+        return f"{self.path}:{node.lineno}"
+
+    def _emit(self, check: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(check=check, message=message,
+                                     site=self._site(node)))
+
+    def run(self) -> list[Finding]:
+        # Parent links, scoped to this function body.
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in _own_statements(self.fn):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+
+        dup_bounds: dict[str, tuple[int, ast.AST]] = {}
+        for node in _own_statements(self.fn):
+            if isinstance(node, ast.Call):
+                self._check_call(node, parents)
+            elif isinstance(node, ast.Expr) and isinstance(node.value,
+                                                           ast.YieldFrom):
+                inner = node.value.value
+                if isinstance(inner, ast.Call):
+                    name = _callable_name(inner.func)
+                    if name in REQUEST_RETURNING:
+                        self._emit(
+                            "RA202", node,
+                            f"the Request returned by {name}() is discarded; "
+                            f"assign it and complete it with "
+                            f"wait/waitall/waitany",
+                        )
+            elif isinstance(node, ast.Assign):
+                self._note_dup_many(node, dup_bounds)
+            elif isinstance(node, ast.Subscript):
+                self._check_dup_index(node, dup_bounds)
+        return self.findings
+
+    def _check_call(self, node: ast.Call, parents: dict) -> None:
+        name = _callable_name(node.func)
+        if not _is_generator_call_name(name):
+            return
+        parent = parents.get(node)
+        if isinstance(parent, ast.YieldFrom) and parent.value is node:
+            return
+        if name not in GENERATOR_METHODS and name not in GENERATOR_FUNCTIONS:
+            # ``*_program`` is only a naming heuristic: rank-program
+            # generators are legitimately instantiated and handed to a
+            # driver (``spawn``, gated sections), so flag only the
+            # bare-statement form where the generator is plainly discarded.
+            if not isinstance(parent, ast.Expr):
+                return
+        # ``gen = comm.irecv(...)`` without yield from is equally broken, as
+        # is passing the raw generator anywhere else.
+        self._emit(
+            "RA201", node,
+            f"{name}() is a generator coroutine and must be driven with "
+            f"'yield from' — as written the call builds a generator object "
+            f"and performs no communication",
+        )
+
+    def _note_dup_many(self, node: ast.Assign,
+                       bounds: dict[str, tuple[int, ast.AST]]) -> None:
+        value = node.value
+        if not (isinstance(value, ast.Call)
+                and _callable_name(value.func) == "dup_many"
+                and value.args
+                and isinstance(value.args[0], ast.Constant)
+                and isinstance(value.args[0].value, int)):
+            # A reassigned name no longer carries a known bound.
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bounds.pop(target.id, None)
+            return
+        n_dup = value.args[0].value
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                bounds[target.id] = (n_dup, node)
+
+    def _check_dup_index(self, node: ast.Subscript,
+                         bounds: dict[str, tuple[int, ast.AST]]) -> None:
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id in bounds
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, int)):
+            return
+        n_dup, _origin = bounds[node.value.id]
+        idx = node.slice.value
+        if not -n_dup <= idx < n_dup:
+            self._emit(
+                "RA203", node,
+                f"{node.value.id}[{idx}] is out of range: dup_many({n_dup}) "
+                f"yields indices 0..{n_dup - 1}",
+            )
+
+
+def _lint_determinism(path: str, tree: ast.Module) -> list[Finding]:
+    """RA204 over one ``repro.sim`` / ``repro.mpi`` module."""
+    findings: list[Finding] = []
+
+    def emit(node: ast.AST, message: str) -> None:
+        findings.append(Finding(check="RA204", message=message,
+                                site=f"{path}:{node.lineno}"))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in ("time", "random"):
+                    emit(node, f"import of {alias.name!r} inside the "
+                               f"deterministic core; use virtual time / "
+                               f"seeded generators instead")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in ("time", "random"):
+                emit(node, f"import from {node.module!r} inside the "
+                           f"deterministic core")
+        elif isinstance(node, ast.Attribute) and isinstance(node.value,
+                                                            ast.Name):
+            base = node.value.id
+            if base == "time" and node.attr in _WALLCLOCK_ATTRS:
+                emit(node, f"time.{node.attr} reads the wall clock; the "
+                           f"simulator must only use Engine.now")
+            elif base == "random":
+                emit(node, f"random.{node.attr} uses the global RNG; use a "
+                           f"seeded np.random.default_rng instead")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "random"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id in ("np", "numpy")):
+                if func.attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        emit(node, "np.random.default_rng() without a seed "
+                                   "is nondeterministic; pass an explicit "
+                                   "seed")
+                else:
+                    emit(node, f"np.random.{func.attr} uses numpy's global "
+                               f"RNG state; use a seeded "
+                               f"np.random.default_rng instead")
+    return findings
+
+
+def _is_core_module(path: str) -> bool:
+    p = path.replace("\\", "/")
+    return "repro/sim/" in p or "repro/mpi/" in p
+
+
+def lint_source(source: str, path: str = "<string>",
+                determinism: bool | None = None) -> list[Finding]:
+    """Lint one module's source text; ``path`` is used for finding sites.
+
+    ``determinism`` forces the RA204 pass on (True) or off (False);
+    ``None`` enables it automatically for ``repro/sim`` and ``repro/mpi``
+    modules.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(check="RA201",
+                        message=f"could not parse: {exc.msg}",
+                        site=f"{path}:{exc.lineno or 0}")]
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and _is_generator_fn(node):
+            findings.extend(_FunctionLinter(path, node).run())
+    if determinism is None:
+        determinism = _is_core_module(path)
+    if determinism:
+        findings.extend(_lint_determinism(path, tree))
+    return findings
+
+
+def lint_file(path: str | pathlib.Path,
+              determinism: bool | None = None) -> list[Finding]:
+    p = pathlib.Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p), determinism)
+
+
+def lint_paths(paths) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories.
+
+    Findings are sorted by (file, line, check) so the output is stable.
+    """
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    def sort_key(f: Finding):
+        site = f.site or ""
+        name, _, line = site.rpartition(":")
+        return (name, int(line) if line.isdigit() else 0, f.check)
+
+    return sorted(findings, key=sort_key)

@@ -1,0 +1,395 @@
+"""Runtime MPI correctness verifier (the MUST/ISP-style dynamic checks).
+
+A :class:`CommVerifier` is attached to a :class:`~repro.mpi.world.World`
+(``World(verify=True)`` or ``World(verifier=CommVerifier(...))``) and is
+driven by passive hooks in :mod:`repro.mpi.comm`,
+:mod:`repro.mpi.requests`, :mod:`repro.mpi.transport` and
+:meth:`repro.mpi.world.World.run`.  *Passive* is a hard invariant: the
+verifier never yields, never schedules engine callbacks and never charges
+virtual time, so a verified run is bit-for-bit timing-identical to an
+unverified one (the golden-trace tests pin this).
+
+Checks (stable IDs, see :mod:`repro.analysis.findings`):
+
+RA101  collective-sequence matching per communicator — every member rank
+       must post the same (op kind, root, byte count) at each sequence
+       number; the first divergence is reported with both call sites.
+RA102  request leak — a nonblocking operation whose Request was never
+       completed by ``wait``/``test``/``waitall``/``waitany`` by exit.
+RA103  in-flight buffer hazard — a buffer (or an overlapping view of it)
+       passed to an operation while a prior nonblocking op on it is still
+       incomplete.
+RA104  unmatched point-to-point traffic left in the transport queues.
+RA105  tag collision — a second send (or recv) posted with an identical
+       user-tag envelope while the first is still unmatched; matching then
+       depends on FIFO order only (warning).
+RA106  deadlock/stall — the event queue drained with ranks suspended; each
+       rank's pending wait is named and p2p wait-for cycles are reported.
+RA107  ``waitany([])`` — undefined in MPI; flagged at the call site.
+
+Disable individual checks with ``CommVerifier(disabled={"RA105"})`` — the
+mutation-style tests use this to prove every check fails closed.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.analysis.findings import Finding, call_site
+
+#: verifiers attached to live, unfinalized worlds — the delivery targets for
+#: violations raised from code with no World in reach (e.g. ``waitany([])``).
+_ACTIVE: list = []
+
+
+def _active_verifiers() -> list["CommVerifier"]:
+    alive, out = [], []
+    for ref in _ACTIVE:
+        v = ref()
+        if v is not None and not v.finalized:
+            alive.append(ref)
+            out.append(v)
+    _ACTIVE[:] = alive
+    return out
+
+
+def note_empty_waitany() -> None:
+    """Report a ``waitany([])`` call site to every active verifier (RA107)."""
+    verifiers = _active_verifiers()
+    if not verifiers:
+        return
+    site = call_site()
+    for v in verifiers:
+        v.on_empty_waitany(site)
+
+
+class _ReqInfo:
+    """Verifier-side metadata for one user-visible Request."""
+
+    __slots__ = ("req", "op", "rank", "peer", "cid", "seq", "tag", "nbytes",
+                 "site", "consumed")
+
+    def __init__(self, req, op, rank, peer, cid, seq, tag, nbytes, site):
+        self.req = req
+        self.op = op
+        self.rank = rank          # global rank that posted the operation
+        self.peer = peer          # global peer rank (p2p only)
+        self.cid = cid
+        self.seq = seq            # collective sequence number (collectives)
+        self.tag = tag
+        self.nbytes = nbytes
+        self.site = site
+        self.consumed = False
+
+
+class _SeqEntry:
+    """Reference record for one sequence slot of one communicator."""
+
+    __slots__ = ("kind", "root", "nbytes", "rank", "site", "posted")
+
+    def __init__(self, kind, root, nbytes, rank, site, local_rank):
+        self.kind = kind
+        self.root = root
+        self.nbytes = nbytes
+        self.rank = rank          # first global rank to reach this slot
+        self.site = site
+        self.posted = {local_rank}
+
+
+class _BufEntry:
+    __slots__ = ("rank", "arr", "op", "site")
+
+    def __init__(self, rank, arr, op, site):
+        self.rank = rank
+        self.arr = arr
+        self.op = op
+        self.site = site
+
+
+class CommVerifier:
+    """Collects :class:`Finding` objects from the runtime hooks."""
+
+    def __init__(self, disabled=(), max_findings: int = 1000):
+        self.disabled = frozenset(disabled)
+        self.max_findings = max_findings
+        self.findings: list[Finding] = []
+        self.finalized = False
+        self.world = None
+        self._comms: dict[int, tuple[str, tuple]] = {}   # cid -> (name, ranks)
+        self._seq: dict[int, list[_SeqEntry]] = {}
+        self._requests: dict[int, _ReqInfo] = {}
+        self._buffers: dict[int, _BufEntry] = {}         # keyed by id(req)
+        self._waiting: dict[int, tuple] = {}             # rank -> (label, reqs, site)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def attach(self, world) -> None:
+        """Bind to ``world``; called by :class:`~repro.mpi.world.World`."""
+        self.world = world
+        _ACTIVE.append(weakref.ref(self))
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def _now(self) -> float | None:
+        return None if self.world is None else self.world.engine.now
+
+    def _emit(self, check: str, message: str, *, rank=None, site=None,
+              **extra) -> None:
+        if check in self.disabled or len(self.findings) >= self.max_findings:
+            return
+        self.findings.append(Finding(
+            check=check, message=message, rank=rank, time=self._now(),
+            site=site, extra=extra,
+        ))
+
+    def _comm_name(self, cid: int) -> str:
+        name, _ranks = self._comms.get(cid, (f"cid{cid}", ()))
+        return name
+
+    # -- hook: communicators ---------------------------------------------------
+
+    def on_comm_created(self, comm) -> None:
+        self._comms[comm.cid] = (comm.name, comm.ranks)
+
+    # -- hook: collectives (RA101, RA103) -------------------------------------
+
+    def on_collective_posted(self, comm, local_rank: int, seq: int, kind: str,
+                             root, nbytes: int, buf) -> str | None:
+        """Sequence-match this post; returns the captured call site."""
+        site = call_site()
+        global_rank = comm.ranks[local_rank]
+        log = self._seq.setdefault(comm.cid, [])
+        if seq == len(log):
+            log.append(_SeqEntry(kind, root, nbytes, global_rank, site,
+                                 local_rank))
+        elif seq < len(log):
+            ref = log[seq]
+            ref.posted.add(local_rank)
+            if (kind, root, nbytes) != (ref.kind, ref.root, ref.nbytes):
+                self._emit(
+                    "RA101",
+                    f"comm {self._comm_name(comm.cid)!r} (cid {comm.cid}) "
+                    f"seq {seq}: rank {global_rank} posted "
+                    f"{kind}(root={root}, nbytes={nbytes}) but rank "
+                    f"{ref.rank} posted {ref.kind}(root={ref.root}, "
+                    f"nbytes={ref.nbytes}) at {ref.site}",
+                    rank=global_rank, site=site,
+                    other_rank=ref.rank, other_site=ref.site, seq=seq,
+                )
+        if buf is not None:
+            self.check_buffer(global_rank, buf, kind, site)
+        return site
+
+    # -- hook: buffers (RA103) -------------------------------------------------
+
+    def check_buffer(self, rank: int, arr, op: str,
+                     site: str | None = None) -> None:
+        """Flag overlap between ``arr`` and any in-flight buffer of ``rank``."""
+        if arr is None:
+            return
+        if site is None:
+            site = call_site()
+        arr = np.asarray(arr)
+        for entry in self._buffers.values():
+            if entry.rank == rank and np.shares_memory(entry.arr, arr):
+                self._emit(
+                    "RA103",
+                    f"rank {rank} passed a buffer to {op} that overlaps the "
+                    f"buffer of an incomplete {entry.op} posted at "
+                    f"{entry.site}",
+                    rank=rank, site=site, pending_op=entry.op,
+                    pending_site=entry.site,
+                )
+                return
+
+    def hold_buffer(self, rank: int, arr, op: str, site: str | None,
+                    req) -> None:
+        """Track ``arr`` as in flight until ``req`` completes."""
+        if arr is None:
+            return
+        key = id(req)
+        self._buffers[key] = _BufEntry(rank, np.asarray(arr), op, site)
+        req.done.add_callback(lambda _ev: self._buffers.pop(key, None))
+
+    # -- hook: requests (RA102) ------------------------------------------------
+
+    def track_request(self, req, op: str, rank: int,
+                      site: str | None = None, *,
+                      peer=None, cid=None, seq=None, tag=None,
+                      nbytes: int = 0) -> None:
+        if site is None:
+            site = call_site()
+        self._requests[id(req)] = _ReqInfo(
+            req, op, rank, peer, cid, seq, tag, nbytes, site,
+        )
+
+    def on_p2p_posted(self, req, op: str, rank: int, *, peer: int, cid: int,
+                      tag, nbytes: int, buf=None) -> None:
+        """One-stop hook for ``isend``/``irecv``: RA102/RA103 bookkeeping."""
+        site = call_site()
+        if buf is not None:
+            self.check_buffer(rank, buf, op, site)
+        self.track_request(req, op, rank, site, peer=peer, cid=cid, tag=tag,
+                           nbytes=nbytes)
+        if op == "isend" and buf is not None and not req.done.fired:
+            self.hold_buffer(rank, buf, op, site, req)
+
+    def mark_consumed(self, req) -> None:
+        info = self._requests.get(id(req))
+        if info is not None:
+            info.consumed = True
+
+    # -- hook: waits (RA106 bookkeeping) ---------------------------------------
+
+    def on_wait_begin(self, rank: int, reqs, label: str) -> None:
+        self._waiting[rank] = (label, tuple(reqs), call_site())
+
+    def on_wait_end(self, rank: int) -> None:
+        self._waiting.pop(rank, None)
+
+    def on_empty_waitany(self, site: str | None) -> None:
+        self._emit(
+            "RA107",
+            "waitany([]) is undefined (MPI_Waitany of zero requests); "
+            "use waitall([]) -> [] for the empty case",
+            site=site,
+        )
+
+    # -- hook: transport (RA105) -----------------------------------------------
+
+    def on_envelope_collision(self, kind: str, cid: int, src: int, dst: int,
+                              tag, nbytes: int) -> None:
+        if not (isinstance(tag, tuple) and tag and tag[0] == "u"):
+            return  # collective-internal tags are sequence-disambiguated
+        self._emit(
+            "RA105",
+            f"{kind} posted on comm {self._comm_name(cid)!r} with envelope "
+            f"(src={src}, dst={dst}, tag={tag[1]}) while an earlier {kind} "
+            f"with the identical envelope is still unmatched; message "
+            f"matching now depends on FIFO order alone",
+            rank=src if kind == "send" else dst,
+            site=call_site(), nbytes=nbytes,
+        )
+
+    # -- end-of-run checks -----------------------------------------------------
+
+    def finalize(self, world) -> None:
+        """Exit-time checks: request leaks (RA102), unmatched p2p (RA104)."""
+        if self.finalized:
+            return
+        self.finalized = True
+        for info in self._requests.values():
+            if not info.consumed:
+                self._emit(
+                    "RA102",
+                    f"rank {info.rank} never completed the Request returned "
+                    f"by {info.op} (posted at {info.site}); every "
+                    f"nonblocking operation must be finished with "
+                    f"wait/test/waitall/waitany",
+                    rank=info.rank, site=info.site, op=info.op,
+                )
+        sends, recvs = world.transport.pending_details()
+        for s in sends:
+            self._emit(
+                "RA104",
+                f"send r{s['src']}->r{s['dst']} "
+                f"(comm {self._comm_name(s['cid'])!r}, tag={s['tag']}, "
+                f"{s['nbytes']}B) was never matched by a receive",
+                rank=s["src"], **s,
+            )
+        for r in recvs:
+            self._emit(
+                "RA104",
+                f"recv r{r['dst']}<-r{r['src']} "
+                f"(comm {self._comm_name(r['cid'])!r}, tag={r['tag']}) was "
+                f"never matched by a send",
+                rank=r["dst"], **r,
+            )
+
+    # -- deadlock reporting (RA106) --------------------------------------------
+
+    def _describe_pending(self, req) -> tuple[str, int | None]:
+        """(description, wait-for peer or None) for one unfired request."""
+        info = self._requests.get(id(req))
+        if info is None:
+            return f"pending {req.label!r}", None
+        if info.op in ("isend", "irecv"):
+            verb = "send to" if info.op == "isend" else "recv from"
+            tag = info.tag[1] if isinstance(info.tag, tuple) else info.tag
+            return f"{verb} r{info.peer} (tag={tag})", info.peer
+        name = self._comm_name(info.cid)
+        missing: list[int] = []
+        log = self._seq.get(info.cid, [])
+        if info.seq is not None and info.seq < len(log):
+            _cname, ranks = self._comms.get(info.cid, ("?", ()))
+            posted = log[info.seq].posted
+            missing = [g for lr, g in enumerate(ranks) if lr not in posted]
+        desc = f"{info.op} seq {info.seq} on comm {name!r}"
+        if missing:
+            desc += f" (ranks {missing} never posted seq {info.seq})"
+        return desc, None
+
+    def _find_cycle(self, edges: dict[int, set[int]]) -> list[int] | None:
+        """A p2p wait-for cycle ``[r0, r1, ..., r0]``, or None."""
+        visiting: dict[int, int] = {}  # rank -> position in current path
+        visited: set[int] = set()
+
+        def dfs(u: int, path: list[int]) -> list[int] | None:
+            visiting[u] = len(path)
+            path.append(u)
+            for v in sorted(edges.get(u, ())):
+                if v in visiting:
+                    return path[visiting[v]:] + [v]
+                if v not in visited:
+                    found = dfs(v, path)
+                    if found:
+                        return found
+            path.pop()
+            del visiting[u]
+            visited.add(u)
+            return None
+
+        for start in sorted(edges):
+            if start not in visited:
+                found = dfs(start, [])
+                if found:
+                    return found
+        return None
+
+    def on_deadlock(self, world, stuck_ranks: list[int]) -> str:
+        """Record RA106 findings for a drained engine; returns a report."""
+        lines = []
+        edges: dict[int, set[int]] = {}
+        for rank in stuck_ranks:
+            entry = self._waiting.get(rank)
+            if entry is None:
+                desc = "suspended outside any MPI wait"
+                site = None
+            else:
+                label, reqs, site = entry
+                parts = []
+                for req in reqs:
+                    if req.done.fired:
+                        continue
+                    text, peer = self._describe_pending(req)
+                    parts.append(text)
+                    if peer is not None:
+                        edges.setdefault(rank, set()).add(peer)
+                desc = f"blocked in {label}: " + ("; ".join(parts) or
+                                                 "no pending request")
+            self._emit(
+                "RA106",
+                f"rank {rank} {desc}",
+                rank=rank, site=site,
+            )
+            lines.append(f"rank {rank}: {desc}" + (f" [{site}]" if site else ""))
+        cycle = self._find_cycle(edges)
+        if cycle is not None:
+            text = " -> ".join(f"r{r}" for r in cycle)
+            self._emit("RA106", f"wait-for cycle: {text}", cycle=cycle)
+            lines.append(f"wait-for cycle: {text}")
+        self.finalized = True
+        return "\n".join(lines)

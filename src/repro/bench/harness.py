@@ -58,6 +58,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "ablation_faults",
         "resilience of the overlap gains under injected fabric faults",
     ),
+    "ablation-verify": (
+        "ablation_verify",
+        "runtime-verifier overhead: simulated time unchanged, wall cost only",
+    ),
 }
 
 

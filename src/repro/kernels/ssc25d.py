@@ -169,6 +169,7 @@ def run_ssc25d(
     iterations: int = 1,
     params: NetworkParams | None = None,
     machine: MachineParams | None = None,
+    verify: bool = False,
 ) -> SSC25DResult:
     """Run Algorithm 6 on a fresh ``q x q x c`` world (cf. :func:`run_ssc`)."""
     check_positive("q", q)
@@ -180,7 +181,7 @@ def run_ssc25d(
     if real and not np.allclose(d, d.T):
         raise ValueError("SymmSquareCube requires a symmetric input matrix")
     world = World(block_placement(q * q * c, max(ppn, 1)), params=params,
-                  machine=machine)
+                  machine=machine, verify=verify)
     mesh = Mesh3D(world, q, q, c, n_dup=max(n_dup, 1))
 
     def program(env: RankEnv):

@@ -499,6 +499,7 @@ def run_ssc(
     placement: str = "block",
     trace: bool = False,
     faults: FaultPlan | None = None,
+    verify: bool = False,
 ) -> SSCResult:
     """Run ``iterations`` SymmSquareCube calls on a fresh ``p^3`` world.
 
@@ -540,7 +541,7 @@ def run_ssc(
     else:
         raise ValueError(f"placement must be 'block' or 'round_robin', got {placement!r}")
     world = World(cluster, params=params, machine=machine, trace=trace,
-                  faults=faults)
+                  faults=faults, verify=verify)
     mesh = Mesh3D(world, p, n_dup=max(n_dup, 1))
     program_fn = _ALGORITHMS[algorithm]
 

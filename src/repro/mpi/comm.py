@@ -63,6 +63,9 @@ class Comm:
         # to issue collectives on a communicator in the same order, so these
         # independent counters agree and give each collective a private tag.
         self._coll_seq = [0] * len(ranks)
+        verifier = getattr(world, "verifier", None)
+        if verifier is not None:
+            verifier.on_comm_created(self)
 
     @property
     def size(self) -> int:
@@ -193,9 +196,18 @@ class CommView:
         if cost > 0:
             yield Delay(cost)
         self._trace_post(t0, f"isend->l{dest}")
-        return self.world.transport.post_send(
-            self.comm.cid, self.gr, self.comm.ranks[dest], _user_tag(tag), nbytes, data
+        utag = _user_tag(tag)
+        req = self.world.transport.post_send(
+            self.comm.cid, self.gr, self.comm.ranks[dest], utag, nbytes, data
         )
+        verifier = getattr(self.world, "verifier", None)
+        if verifier is not None:
+            verifier.on_p2p_posted(
+                req, "isend", self.gr, peer=self.comm.ranks[dest],
+                cid=self.comm.cid, tag=utag, nbytes=nbytes,
+                buf=None if data is None else np.asarray(data),
+            )
+        return req
 
     def irecv(self, source: int, *, tag: int = 0):
         """Generator: post a nonblocking receive; returns a :class:`Request`."""
@@ -204,9 +216,17 @@ class CommView:
         p = self.world.params
         if p.recv_overhead > 0:
             yield Delay(p.recv_overhead)
-        return self.world.transport.post_recv(
-            self.comm.cid, self.gr, self.comm.ranks[source], _user_tag(tag)
+        utag = _user_tag(tag)
+        req = self.world.transport.post_recv(
+            self.comm.cid, self.gr, self.comm.ranks[source], utag
         )
+        verifier = getattr(self.world, "verifier", None)
+        if verifier is not None:
+            verifier.on_p2p_posted(
+                req, "irecv", self.gr, peer=self.comm.ranks[source],
+                cid=self.comm.cid, tag=utag, nbytes=0,
+            )
+        return req
 
     def send(self, dest: int, *, data: Any = None, nbytes: int | None = None, tag: int = 0):
         """Generator: blocking send (isend + wait)."""
@@ -237,14 +257,27 @@ class CommView:
 
     # -- collective engines ---------------------------------------------------------
 
-    def _start(self, schedule, buf, itemsize, blocking, label, result=_UNSET) -> Request:
+    def _start(self, schedule, buf, itemsize, blocking, label, result=_UNSET,
+               *, root=None, op_nbytes: int = 0) -> Request:
         tag = self._next_tag()
+        verifier = getattr(self.world, "verifier", None)
+        site = None
+        if verifier is not None:
+            site = verifier.on_collective_posted(
+                self.comm, self.rank, tag[1], label, root, op_nbytes, buf,
+            )
         runner = ScheduleRunner(
             self.world, self.comm, self.rank, tag, schedule, buf, itemsize,
             blocking, label,
         )
         req = Request(self.world, self.gr, label, runner.start())
         req.set_result(buf if result is _UNSET else result)
+        if verifier is not None:
+            verifier.track_request(req, label, self.gr, site,
+                                   cid=self.comm.cid, seq=tag[1], tag=tag,
+                                   nbytes=op_nbytes)
+            if not blocking and buf is not None and not req.done.fired:
+                verifier.hold_buffer(self.gr, buf, label, site, req)
         return req
 
     # -- broadcast --------------------------------------------------------------------
@@ -268,7 +301,8 @@ class CommView:
             yield Delay(self.world.params.ibcast_post_seconds)
         self._trace_post(t0, "ibcast")
         sched = self._bcast_schedule(n_elems, itemsize, root)
-        return self._start(sched, arr, itemsize, blocking=False, label="ibcast")
+        return self._start(sched, arr, itemsize, blocking=False, label="ibcast",
+                           root=root, op_nbytes=n_elems * itemsize)
 
     def bcast(self, buf=None, *, nbytes: int | None = None, root: int = 0):
         """Generator: blocking broadcast; returns the buffer."""
@@ -276,7 +310,8 @@ class CommView:
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
         sched = self._bcast_schedule(n_elems, itemsize, root)
-        req = self._start(sched, arr, itemsize, blocking=True, label="bcast")
+        req = self._start(sched, arr, itemsize, blocking=True, label="bcast",
+                          root=root, op_nbytes=n_elems * itemsize)
         result = yield from req.wait()
         return result
 
@@ -291,9 +326,14 @@ class CommView:
             return reduce_rabenseifner(p, root, self.rank, n_elems)
         return reduce_ring(p, root, self.rank, n_elems)
 
-    def _reduce_working(self, sendbuf, nbytes):
+    def _reduce_working(self, sendbuf, nbytes, label="reduce"):
         arr, n_elems, itemsize, nb = self._resolve_buf(sendbuf, nbytes)
         if arr is not None:
+            # The working copy never aliases user memory, so the RA103 hazard
+            # check must run against the original send buffer.
+            verifier = getattr(self.world, "verifier", None)
+            if verifier is not None:
+                verifier.check_buffer(self.gr, arr, label)
             arr = arr.copy()  # reductions must not clobber the user's data
         return arr, n_elems, itemsize, nb
 
@@ -304,7 +344,8 @@ class CommView:
         measures (Fig. 6, top: 265-1139 us for 2-8 MB) on the calling CPU.
         ``wait()`` returns the reduced array at the root, ``None`` elsewhere.
         """
-        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes)
+        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes,
+                                                          "ireduce")
         p = self.world.params
         cost = p.ireduce_post_base + nb * p.ireduce_post_per_byte
         t0 = self.world.engine.now
@@ -314,17 +355,18 @@ class CommView:
         sched = self._reduce_schedule(n_elems, itemsize, root)
         result = arr if self.rank == root else None
         return self._start(sched, arr, itemsize, blocking=False, label="ireduce",
-                           result=result)
+                           result=result, root=root, op_nbytes=nb)
 
     def reduce(self, sendbuf=None, *, nbytes: int | None = None, root: int = 0):
         """Generator: blocking sum-reduction; returns the array at root."""
-        arr, n_elems, itemsize, _nb = self._reduce_working(sendbuf, nbytes)
+        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes,
+                                                          "reduce")
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
         sched = self._reduce_schedule(n_elems, itemsize, root)
         result = arr if self.rank == root else None
         req = self._start(sched, arr, itemsize, blocking=True, label="reduce",
-                          result=result)
+                          result=result, root=root, op_nbytes=nb)
         result = yield from req.wait()
         return result
 
@@ -341,7 +383,8 @@ class CommView:
 
     def iallreduce(self, sendbuf=None, *, nbytes: int | None = None):
         """Generator: nonblocking allreduce (sum); ``wait()`` returns the array."""
-        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes)
+        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes,
+                                                          "iallreduce")
         p = self.world.params
         cost = p.ireduce_post_base + nb * p.ireduce_post_per_byte
         t0 = self.world.engine.now
@@ -349,15 +392,18 @@ class CommView:
             yield Delay(cost)
         self._trace_post(t0, "iallreduce")
         sched = self._allreduce_schedule(n_elems, itemsize)
-        return self._start(sched, arr, itemsize, blocking=False, label="iallreduce")
+        return self._start(sched, arr, itemsize, blocking=False,
+                           label="iallreduce", op_nbytes=nb)
 
     def allreduce(self, sendbuf=None, *, nbytes: int | None = None):
         """Generator: blocking allreduce (sum); returns the reduced array."""
-        arr, n_elems, itemsize, _nb = self._reduce_working(sendbuf, nbytes)
+        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes,
+                                                          "allreduce")
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
         sched = self._allreduce_schedule(n_elems, itemsize)
-        req = self._start(sched, arr, itemsize, blocking=True, label="allreduce")
+        req = self._start(sched, arr, itemsize, blocking=True,
+                          label="allreduce", op_nbytes=nb)
         result = yield from req.wait()
         return result
 
@@ -370,23 +416,25 @@ class CommView:
         (``segment r`` of ``p`` equal splits) filled; returns the completed
         buffer (MPI_Allgather with in-place convention).
         """
-        arr, n_elems, itemsize, _nb = self._resolve_buf(buf, nbytes)
+        arr, n_elems, itemsize, nb = self._resolve_buf(buf, nbytes)
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
         sched = allgather_ring(self.comm.size, self.rank, n_elems)
-        req = self._start(sched, arr, itemsize, blocking=True, label="allgather")
+        req = self._start(sched, arr, itemsize, blocking=True,
+                          label="allgather", op_nbytes=nb)
         result = yield from req.wait()
         return result
 
     def iallgather(self, buf=None, *, nbytes: int | None = None):
         """Generator: nonblocking ring allgather (cf. :meth:`allgather`)."""
-        arr, n_elems, itemsize, _nb = self._resolve_buf(buf, nbytes)
+        arr, n_elems, itemsize, nb = self._resolve_buf(buf, nbytes)
         t0 = self.world.engine.now
         if self.world.params.ibcast_post_seconds > 0:
             yield Delay(self.world.params.ibcast_post_seconds)
         self._trace_post(t0, "iallgather")
         sched = allgather_ring(self.comm.size, self.rank, n_elems)
-        return self._start(sched, arr, itemsize, blocking=False, label="iallgather")
+        return self._start(sched, arr, itemsize, blocking=False,
+                           label="iallgather", op_nbytes=nb)
 
     # -- reduce-scatter ---------------------------------------------------------------
 
@@ -402,7 +450,8 @@ class CommView:
         Every rank contributes a full-size buffer; ``wait()`` returns rank
         ``r``'s fully-reduced segment ``r`` of ``p`` near-equal splits.
         """
-        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes)
+        arr, n_elems, itemsize, nb = self._reduce_working(sendbuf, nbytes,
+                                                          "ireduce_scatter")
         p = self.world.params
         cost = p.ireduce_post_base + nb * p.ireduce_post_per_byte
         t0 = self.world.engine.now
@@ -411,7 +460,7 @@ class CommView:
         self._trace_post(t0, "ireduce_scatter")
         sched = _reduce_scatter_ring_rounds(self.comm.size, 0, self.rank, n_elems)
         req = self._start(sched, arr, itemsize, blocking=False,
-                          label="ireduce_scatter", result=None)
+                          label="ireduce_scatter", result=None, op_nbytes=nb)
         # The working buffer is only consistent in this rank's own segment
         # once the schedule completes; patch the result lazily.
         req.done.add_callback(
@@ -480,7 +529,8 @@ class CommView:
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
         sched = barrier_dissemination(self.comm.size, self.rank)
-        return self._start(sched, None, 1, blocking=False, label="ibarrier")
+        return self._start(sched, None, 1, blocking=False, label="ibarrier",
+                           op_nbytes=0)
 
     def barrier(self):
         """Generator: blocking dissemination barrier."""

@@ -5,6 +5,21 @@ A :class:`Request` wraps a completion :class:`~repro.sim.engine.SimEvent`.
 returns the operation's payload (the received data for receives, the result
 buffer for collectives).  ``req.test()`` is the nonblocking completion probe
 (the paper's §III-B PPN-gating mechanism polls with MPI_Test + usleep).
+
+Empty-list conventions (MPI-conformant, pinned by tests):
+
+* ``waitall([])`` completes immediately and returns ``[]`` — MPI_Waitall
+  with ``count == 0`` is a no-op;
+* ``waitany([])`` raises :class:`ValueError` — MPI_Waitany of zero requests
+  can never complete, so an empty list is always a program bug.  When a
+  :class:`~repro.analysis.verifier.CommVerifier` is active the call site is
+  additionally reported as an ``RA107`` finding.
+
+When the owning world carries a verifier, every completion path
+(``wait``/``test``/``waitall``/``waitany``) reports which requests it
+consumed — the request-leak check (``RA102``) and the deadlock reporter
+(``RA106``) are built on those notifications.  The hooks are passive and
+never touch the virtual clock.
 """
 
 from __future__ import annotations
@@ -14,6 +29,13 @@ from typing import Any
 from repro.sim.engine import SimEvent
 from repro.sim.process import AnyOf
 from repro.sim.trace import SpanKind
+
+
+def _record_wait_span(world, rank: int, t0: float, label: str) -> None:
+    """The shared WAIT-span bookkeeping of wait/waitall/waitany."""
+    t1 = world.engine.now
+    if t1 > t0:
+        world.trace.add(rank, t0, t1, SpanKind.WAIT, label)
 
 
 class Request:
@@ -36,18 +58,36 @@ class Request:
     def result(self) -> Any:
         return self._result
 
+    @property
+    def _verifier(self):
+        return getattr(self.world, "verifier", None)
+
     def test(self) -> bool:
-        """Nonblocking completion check (MPI_Test)."""
-        return self.done.fired
+        """Nonblocking completion check (MPI_Test).
+
+        A ``True`` return completes the request (MPI_Test semantics): the
+        verifier, if any, stops considering it leaked.
+        """
+        fired = self.done.fired
+        if fired:
+            v = self._verifier
+            if v is not None:
+                v.mark_consumed(self)
+        return fired
 
     def wait(self):
         """Generator: suspend until completion; returns the payload (MPI_Wait)."""
+        v = self._verifier
         t0 = self.world.engine.now
         if not self.done.fired:
+            if v is not None:
+                v.on_wait_begin(self.rank, (self,), f"wait {self.label}")
             yield self.done
-        t1 = self.world.engine.now
-        if t1 > t0:
-            self.world.trace.add(self.rank, t0, t1, SpanKind.WAIT, f"wait {self.label}")
+            if v is not None:
+                v.on_wait_end(self.rank)
+        if v is not None:
+            v.mark_consumed(self)
+        _record_wait_span(self.world, self.rank, t0, f"wait {self.label}")
         return self._result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -58,21 +98,28 @@ class Request:
 def waitall(requests: list[Request]):
     """Generator: wait for every request; returns their payloads in order.
 
-    Records a single WAIT span covering the whole MPI_Waitall.
+    ``waitall([])`` returns ``[]`` immediately.  Records a single WAIT span
+    covering the whole MPI_Waitall.
     """
     if not requests:
         return []
     world = requests[0].world
     rank = requests[0].rank
+    v = getattr(world, "verifier", None)
+    label = f"waitall[{len(requests)}]"
     t0 = world.engine.now
+    if v is not None:
+        v.on_wait_begin(rank, requests, label)
     results = []
     for req in requests:
         if not req.done.fired:
             yield req.done
-        results.append(req._result)
-    t1 = world.engine.now
-    if t1 > t0:
-        world.trace.add(rank, t0, t1, SpanKind.WAIT, f"waitall[{len(requests)}]")
+        if v is not None:
+            v.mark_consumed(req)
+        results.append(req.result)
+    if v is not None:
+        v.on_wait_end(rank)
+    _record_wait_span(world, rank, t0, label)
     return results
 
 
@@ -80,18 +127,34 @@ def waitany(requests: list[Request]):
     """Generator: wait until *one* request completes (MPI_Waitany).
 
     Returns ``(index, payload)`` of the first completion; already-completed
-    requests win immediately (lowest index first, matching MPI).
+    requests win immediately (lowest index first, matching MPI).  Only the
+    returned request counts as completed — the rest must still be waited.
+    ``waitany([])`` raises :class:`ValueError` (and is reported as RA107
+    when a verifier is active): an empty MPI_Waitany can never complete.
     """
     if not requests:
-        raise ValueError("waitany needs at least one request")
-    for idx, req in enumerate(requests):
-        if req.done.fired:
-            return idx, req._result
+        from repro.analysis.verifier import note_empty_waitany
+
+        note_empty_waitany()
+        raise ValueError(
+            "waitany needs at least one request (an empty MPI_Waitany can "
+            "never complete; use waitall([]) for the empty case)"
+        )
     world = requests[0].world
     rank = requests[0].rank
+    v = getattr(world, "verifier", None)
+    for idx, req in enumerate(requests):
+        if req.done.fired:
+            if v is not None:
+                v.mark_consumed(req)
+            return idx, req.result
+    label = f"waitany[{len(requests)}]"
     t0 = world.engine.now
+    if v is not None:
+        v.on_wait_begin(rank, requests, label)
     idx, _value = yield AnyOf([r.done for r in requests])
-    t1 = world.engine.now
-    if t1 > t0:
-        world.trace.add(rank, t0, t1, SpanKind.WAIT, f"waitany[{len(requests)}]")
-    return idx, requests[idx]._result
+    if v is not None:
+        v.on_wait_end(rank)
+        v.mark_consumed(requests[idx])
+    _record_wait_span(world, rank, t0, label)
+    return idx, requests[idx].result

@@ -105,7 +105,12 @@ class Transport:
             recv = rq.popleft()
             self._matched(state, recv)
         else:
-            self._send_q.setdefault(key, deque()).append(state)
+            q = self._send_q.setdefault(key, deque())
+            verifier = getattr(self.world, "verifier", None)
+            if q and verifier is not None:
+                verifier.on_envelope_collision("send", cid, src, dst, tag,
+                                               nbytes)
+            q.append(state)
         return req
 
     def post_recv(self, cid: int, dst: int, src: int, tag: int) -> Request:
@@ -118,7 +123,11 @@ class Transport:
             state = sq.popleft()
             self._matched(state, req)
         else:
-            self._recv_q.setdefault(key, deque()).append(req)
+            q = self._recv_q.setdefault(key, deque())
+            verifier = getattr(self.world, "verifier", None)
+            if q and verifier is not None:
+                verifier.on_envelope_collision("recv", cid, src, dst, tag, 0)
+            q.append(req)
         return req
 
     # -- protocol internals ------------------------------------------------------
@@ -191,6 +200,26 @@ class Transport:
         ns = sum(len(q) for q in self._send_q.values())
         nr = sum(len(q) for q in self._recv_q.values())
         return ns, nr
+
+    def pending_details(self) -> tuple[list[dict], list[dict]]:
+        """Unmatched traffic as (sends, recvs) envelope dicts, sorted.
+
+        Each entry carries ``cid``/``src``/``dst``/``tag`` (and ``nbytes``
+        for sends) — the RA104 exit check and deadlock reports are built on
+        this instead of the bare counts.
+        """
+        sends = [
+            {"cid": cid, "src": src, "dst": dst, "tag": tag,
+             "nbytes": state.nbytes}
+            for (cid, dst, src, tag), q in sorted(self._send_q.items())
+            for state in q
+        ]
+        recvs = [
+            {"cid": cid, "src": src, "dst": dst, "tag": tag}
+            for (cid, dst, src, tag), q in sorted(self._recv_q.items())
+            for _req in q
+        ]
+        return sends, recvs
 
     def fault_stats(self) -> dict:
         """Drop/retry counters accumulated under an active FaultPlan."""

@@ -43,6 +43,8 @@ class World:
         machine: MachineParams | None = None,
         trace: bool = False,
         faults: FaultPlan | None = None,
+        verify: bool = False,
+        verifier=None,
     ):
         self.cluster = cluster
         self.params = params or NetworkParams()
@@ -50,6 +52,16 @@ class World:
         self.engine = Engine()
         self.trace = Trace(enabled=trace)
         self.faults = faults
+        # The runtime correctness verifier (repro.analysis) must exist before
+        # comm_world so communicator creation is observed.  Its hooks are
+        # passive: a verified run is timing-identical to an unverified one.
+        if verifier is None and verify:
+            from repro.analysis.verifier import CommVerifier
+
+            verifier = CommVerifier()
+        self.verifier = verifier
+        if verifier is not None:
+            verifier.attach(self)
         if faults is not None:
             faults.reset()  # a reused plan replays identically in a new world
         self.fabric = Fabric(self.engine, cluster, self.params,
@@ -69,6 +81,7 @@ class World:
         ]
         self.comm_world = Comm(self, range(cluster.num_ranks), name="world")
         self._procs: list[SimProcess] = []
+        self._proc_ranks: list[int] = []
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -98,6 +111,7 @@ class World:
             raise ValueError(f"rank {rank} outside world")
         proc = SimProcess(self.engine, gen, name or f"rank{rank}")
         self._procs.append(proc)
+        self._proc_ranks.append(rank)
         return proc
 
     def spawn_all(
@@ -115,13 +129,24 @@ class World:
         """
         t = self.engine.run(until=until)
         if until is None:
-            stuck = [p.name for p in self._procs if not p.done.fired]
-            if stuck:
+            stuck_idx = [i for i, p in enumerate(self._procs)
+                         if not p.done.fired]
+            if stuck_idx:
+                stuck = [self._procs[i].name for i in stuck_idx]
                 ns, nr = self.transport.pending_counts()
-                raise SimulationError(
+                msg = (
                     f"deadlock: {stuck} never finished "
                     f"(unmatched sends={ns}, unmatched recvs={nr})"
                 )
+                if self.verifier is not None:
+                    stuck_ranks = sorted({self._proc_ranks[i]
+                                          for i in stuck_idx})
+                    report = self.verifier.on_deadlock(self, stuck_ranks)
+                    if report:
+                        msg += "\n" + report
+                raise SimulationError(msg)
+            if self.verifier is not None:
+                self.verifier.finalize(self)
         return t
 
     def results(self) -> list:

@@ -90,6 +90,12 @@ class Engine:
         """Number of heap callbacks executed so far (for perf diagnostics)."""
         return self._nevents
 
+    @property
+    def idle(self) -> bool:
+        """True when nothing is scheduled — with unfinished processes this
+        means the simulation can never make progress again (deadlock)."""
+        return not self._heap
+
     def call_at(self, when: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn()`` at absolute virtual time ``when``."""
         if when < self.now:

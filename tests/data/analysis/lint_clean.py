@@ -1,0 +1,20 @@
+"""Clean fixture: a correct rank program the lint must not flag."""
+
+import numpy as np
+
+
+def program(env, world):
+    from repro.mpi.requests import waitall
+
+    comms = world.comm_world.dup_many(2)
+    views = [env.view(c) for c in comms]
+    buf = np.zeros(64)
+    reqs = []
+    for view in views:
+        req = yield from view.ibcast(buf[:32] if view is views[0] else buf[32:],
+                                     root=0)
+        reqs.append(req)
+    yield from waitall(reqs)
+    yield from views[0].barrier()
+    rng = np.random.default_rng(7)
+    return rng.standard_normal(4)

@@ -1,0 +1,7 @@
+"""RA201 fixture: a generator comm verb called without ``yield from``."""
+
+
+def program(env, world):
+    comm = env.view(world.comm_world)
+    comm.bcast(nbytes=64, root=0)  # builds a generator, communicates nothing
+    yield from comm.barrier()

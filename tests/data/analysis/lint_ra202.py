@@ -1,0 +1,7 @@
+"""RA202 fixture: the Request from a nonblocking call is discarded."""
+
+
+def program(env, world):
+    comm = env.view(world.comm_world)
+    yield from comm.isend(1, nbytes=64)  # Request dropped: can never be waited
+    yield from comm.barrier()

@@ -1,0 +1,7 @@
+"""RA203 fixture: a dup_many result indexed past N_DUP."""
+
+
+def program(env, world):
+    comms = world.comm_world.dup_many(2)
+    view = env.view(comms[2])  # out of range: dup_many(2) gives indices 0..1
+    yield from view.barrier()

@@ -1,0 +1,9 @@
+"""RA204 fixture: wall-clock and global-RNG use (linted with determinism on)."""
+
+import random
+import time
+
+
+def jitter():
+    t0 = time.time()
+    return t0 + random.random()

@@ -1,0 +1,24 @@
+"""RA101 fixture: ranks disagree on a collective's byte count.
+
+Both ranks reach bcast seq 0 on comm ``world``, but rank 1 passes twice the
+bytes rank 0 does.  The simulated transfer still completes (matching is by
+envelope, not size), so the run finishes cleanly — only the verifier can
+see the divergence.
+"""
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        comm = env.view(world.comm_world)
+        yield from comm.bcast(nbytes=64 * (comm.rank + 1), root=0)
+
+    world.spawn_all(program)
+    world.run()
+    return world

@@ -1,0 +1,26 @@
+"""RA102 fixture: a nonblocking send whose Request is never completed.
+
+The eager message is delivered (rank 1 receives it), so the run finishes —
+but rank 0 dropped the isend Request on the floor, which real MPI counts
+as a resource leak.
+"""
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        comm = env.view(world.comm_world)
+        if comm.rank == 0:
+            yield from comm.isend(1, nbytes=64)  # Request discarded: leak
+        else:
+            yield from comm.recv(0)
+
+    world.spawn_all(program)
+    world.run()
+    return world

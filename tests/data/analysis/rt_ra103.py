@@ -1,0 +1,31 @@
+"""RA103 fixture: the same buffer passed to two overlapping ibcasts.
+
+The first ibcast (rendezvous-sized, so genuinely in flight) still owns the
+buffer when the second one posts it again; whichever transfer lands last
+wins, nondeterministically in real MPI.  Both operations are waited, so the
+run completes and only RA103 distinguishes it from a correct program.
+"""
+
+import numpy as np
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        from repro.mpi.requests import waitall
+
+        comm = env.view(world.comm_world)
+        buf = np.zeros(16384)  # 128 KiB: above the rendezvous threshold
+        r1 = yield from comm.ibcast(buf, root=0)
+        r2 = yield from comm.ibcast(buf, root=0)  # hazard: buf still in flight
+        yield from waitall([r1, r2])
+
+    world.spawn_all(program)
+    world.run()
+    return world

@@ -1,0 +1,25 @@
+"""RA104 fixture: an eager send nobody ever receives.
+
+The send completes locally (eager protocol), rank 0 waits it, and the
+program exits with the message still parked in the transport's unexpected
+queue — silent payload loss that only the exit-time check reports.
+"""
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        comm = env.view(world.comm_world)
+        if comm.rank == 0:
+            req = yield from comm.isend(1, nbytes=64)  # no matching recv
+            yield from req.wait()
+
+    world.spawn_all(program)
+    world.run()
+    return world

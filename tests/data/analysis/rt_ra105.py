@@ -1,0 +1,33 @@
+"""RA105 fixture: two in-flight sends with an identical user-tag envelope.
+
+Rank 0 posts both sends before rank 1 posts any receive, so matching
+depends purely on the FIFO non-overtaking rule — legal MPI, but fragile
+(reordering either post silently swaps the payloads).  Flagged as a
+warning.
+"""
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        from repro.mpi.requests import waitall
+
+        comm = env.view(world.comm_world)
+        if comm.rank == 0:
+            r1 = yield from comm.isend(1, data=[1], nbytes=64, tag=7)
+            r2 = yield from comm.isend(1, data=[2], nbytes=64, tag=7)
+            yield from waitall([r1, r2])
+        else:
+            yield from env.sleep(1e-3)  # let both sends queue up first
+            yield from comm.recv(0, tag=7)
+            yield from comm.recv(0, tag=7)
+
+    world.spawn_all(program)
+    world.run()
+    return world

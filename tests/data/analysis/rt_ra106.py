@@ -1,0 +1,33 @@
+"""RA106 fixture: the classic two-rank receive-receive deadlock.
+
+Each rank waits for a message the other will only send afterwards; the
+event queue drains with both suspended.  ``World.run`` raises
+SimulationError and the verifier names each rank's pending wait plus the
+r0 -> r1 -> r0 wait-for cycle.
+"""
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+from repro.sim.engine import SimulationError
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        comm = env.view(world.comm_world)
+        peer = 1 - comm.rank
+        data = yield from comm.recv(peer)  # both block here forever
+        yield from comm.send(peer, nbytes=64)
+        return data
+
+    world.spawn_all(program)
+    try:
+        world.run()
+    except SimulationError:
+        pass
+    else:  # pragma: no cover - the fixture must deadlock
+        raise AssertionError("fixture was expected to deadlock")
+    return world

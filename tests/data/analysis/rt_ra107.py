@@ -1,0 +1,28 @@
+"""RA107 fixture: ``waitany([])`` — undefined in MPI, always a bug.
+
+The program catches the ValueError and finishes normally; the verifier
+still records the offending call site.
+"""
+
+from repro.mpi.world import World
+from repro.netmodel import block_placement
+
+
+def run(disabled=()):
+    from repro.analysis.verifier import CommVerifier
+
+    world = World(block_placement(2, 1), verifier=CommVerifier(disabled=disabled))
+
+    def program(env):
+        from repro.mpi.requests import waitany
+
+        comm = env.view(world.comm_world)
+        yield from comm.barrier()
+        try:
+            yield from waitany([])
+        except ValueError:
+            pass
+
+    world.spawn_all(program)
+    world.run()
+    return world

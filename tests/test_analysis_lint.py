@@ -1,0 +1,169 @@
+"""Static comm-lint (RA2xx) tests: fixtures, mutations, repo-wide, CLI.
+
+Each static check has a fixture file under ``tests/data/analysis/`` that
+triggers exactly that check and nothing else, plus a mutation-style twin:
+disabling the specific hook (emptying the verb table, forcing the
+determinism pass off, no-opping the index check) must make the fixture
+pass.  Finally, the lint must be clean over the repo's own ``src`` and
+``examples`` trees — that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import lint_file, lint_paths, lint_source
+from repro.analysis.__main__ import main as cli_main
+from repro.analysis import lint as lint_mod
+
+FIXTURE_DIR = pathlib.Path(__file__).parent / "data" / "analysis"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+STATIC_FIXTURES = {
+    "RA201": "lint_ra201.py",
+    "RA202": "lint_ra202.py",
+    "RA203": "lint_ra203.py",
+    "RA204": "lint_ra204.py",
+}
+
+
+def lint_fixture(name: str, **kw):
+    return lint_file(FIXTURE_DIR / name, **kw)
+
+
+@pytest.mark.parametrize("check,fixture", sorted(STATIC_FIXTURES.items()))
+def test_fixture_triggers_exactly_its_check(check, fixture):
+    determinism = True if check == "RA204" else None
+    findings = lint_fixture(fixture, determinism=determinism)
+    assert findings, f"{fixture} produced no findings"
+    assert {f.check for f in findings} == {check}
+    for f in findings:
+        assert f.site is not None and fixture in f.site
+
+
+def test_clean_fixture_has_no_findings():
+    assert lint_fixture("lint_clean.py", determinism=True) == []
+
+
+# -- mutation twins: disabling the hook makes the fixture pass -----------------
+
+
+def test_ra201_mutation_empty_verb_table(monkeypatch):
+    monkeypatch.setattr(lint_mod, "GENERATOR_METHODS", frozenset())
+    monkeypatch.setattr(lint_mod, "GENERATOR_FUNCTIONS", frozenset())
+    assert lint_fixture("lint_ra201.py") == []
+
+
+def test_ra202_mutation_empty_request_table(monkeypatch):
+    monkeypatch.setattr(lint_mod, "REQUEST_RETURNING", frozenset())
+    assert lint_fixture("lint_ra202.py") == []
+
+
+def test_ra203_mutation_noop_index_check(monkeypatch):
+    monkeypatch.setattr(lint_mod._FunctionLinter, "_check_dup_index",
+                        lambda self, node, bounds: None)
+    assert lint_fixture("lint_ra203.py") == []
+
+
+def test_ra204_mutation_determinism_pass_off():
+    assert lint_fixture("lint_ra204.py", determinism=False) == []
+
+
+# -- check-specific behaviors --------------------------------------------------
+
+
+def test_ra201_not_applied_outside_generator_functions():
+    src = "def helper(comm):\n    return comm.bcast(nbytes=64)\n"
+    assert lint_source(src) == []
+
+
+def test_ra201_program_suffix_only_for_bare_discard():
+    flagged = ("def driver(env):\n"
+               "    my_rank_program(env)\n"
+               "    yield from env.sleep(1.0)\n")
+    handed_off = ("def driver(env, world):\n"
+                  "    work = my_rank_program(env)\n"
+                  "    yield from gated_section(env, work)\n")
+    assert {f.check for f in lint_source(flagged)} == {"RA201"}
+    assert lint_source(handed_off) == []
+
+
+def test_ra203_reassignment_clears_bound():
+    src = ("def prog(env, parent):\n"
+           "    comms = parent.dup_many(2)\n"
+           "    comms = other()\n"
+           "    yield from use(comms[5])\n")
+    assert lint_source(src) == []
+
+
+def test_ra203_negative_index_within_range_ok():
+    src = ("def prog(env, parent):\n"
+           "    comms = parent.dup_many(2)\n"
+           "    yield from use(comms[-1])\n")
+    assert lint_source(src) == []
+
+
+def test_ra204_applies_automatically_to_core_paths():
+    src = "import time\n"
+    assert {f.check for f in lint_source(src, path="src/repro/sim/x.py")} \
+        == {"RA204"}
+    assert lint_source(src, path="src/repro/kernels/x.py") == []
+
+
+def test_ra204_seeded_rng_allowed_unseeded_flagged():
+    seeded = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    unseeded = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert lint_source(seeded, determinism=True) == []
+    assert {f.check for f in lint_source(unseeded, determinism=True)} \
+        == {"RA204"}
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    findings = lint_file(bad)
+    assert len(findings) == 1 and "could not parse" in findings[0].message
+
+
+# -- the repo itself must be clean (the CI gate) -------------------------------
+
+
+def test_repo_sources_are_lint_clean():
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "examples"])
+    rendered = [f.render() for f in findings]
+    assert not findings, f"repo lint not clean:\n" + "\n".join(rendered)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def prog(env, comm):\n"
+        "    comm.bcast(nbytes=64)\n"
+        "    yield from comm.barrier()\n"
+    )
+    clean = tmp_path / "clean.py"
+    clean.write_text("def prog(env, comm):\n    yield from comm.barrier()\n")
+
+    assert cli_main(["lint", str(clean)]) == 0
+    assert "lint clean" in capsys.readouterr().out
+
+    assert cli_main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "RA201" in out and "finding(s)" in out
+
+    assert cli_main(["lint", str(dirty), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["check"] == "RA201"
+    assert payload[0]["severity"] == "error"
+
+    assert cli_main([]) == 2
+    capsys.readouterr()
+
+    assert cli_main(["lint", str(tmp_path / "missing.py")]) == 2
+    assert "no such file" in capsys.readouterr().err

@@ -98,7 +98,8 @@ class TestExtensionExperiments:
     """Quick-mode runs of the extension/ablation experiments."""
 
     @pytest.mark.parametrize("name", ["alg12", "ext-cg", "ext-md",
-                                      "ablation-multithread"])
+                                      "ablation-multithread",
+                                      "ablation-verify"])
     def test_quick_run_and_check(self, name):
         out = run_experiment(name, quick=True)
         load_experiment(name).check(out)
@@ -107,7 +108,7 @@ class TestExtensionExperiments:
     def test_registry_complete(self):
         for key in ("alg12", "ext-cg", "ext-md", "ablation-collectives",
                     "ablation-multithread", "ablation-placement",
-                    "ablation-network"):
+                    "ablation-network", "ablation-verify"):
             assert key in EXPERIMENTS
 
 
