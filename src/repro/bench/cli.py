@@ -74,6 +74,11 @@ def main(argv: list[str] | None = None) -> int:
         "--ascii", action="store_true",
         help="additionally render bandwidth experiments as ASCII bar charts",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap each experiment in cProfile and print the top-20 "
+             "cumulative hot spots",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -105,7 +110,22 @@ def main(argv: list[str] | None = None) -> int:
     failures = []
     for name in names:
         t0 = time.time()
-        out = run_experiment(name, quick=args.quick)
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            out = run_experiment(name, quick=args.quick)
+            profiler.disable()
+            stream = io.StringIO()
+            pstats.Stats(profiler, stream=stream).sort_stats(
+                "cumulative").print_stats(20)
+            print(f"[{name}] cProfile top-20 by cumulative time:")
+            print(stream.getvalue())
+        else:
+            out = run_experiment(name, quick=args.quick)
         wall = time.time() - t0
         print(out.render())
         if args.ascii:

@@ -1,0 +1,252 @@
+"""perf-sim-core — microbenchmark of the simulator core (engine + fabric).
+
+Every reproduced number in this repo comes out of the discrete-event engine
+driving the fluid-flow fabric, and the paper's interesting regimes (large P,
+large ``N_DUP``, PPN sweeps) are exactly the ones that explode the number of
+concurrent flows.  This experiment measures that core in isolation: three
+*flow storms* whose concurrency patterns are shaped like the repo's main
+workloads, driven directly through :class:`~repro.netmodel.fabric.Fabric`
+with no MPI/collective layer on top.
+
+=========  ==================================================================
+workload   shape
+=========  ==================================================================
+table1     64 nodes, PPN=1, staggered bursts of 256 multi-MB flows — the
+           Table I SymmSquareCube regime (p=4 mesh, N_DUP pipelined
+           rendezvous-class block broadcasts).
+table2     32 nodes, PPN=4, 256-flow bursts of ~1 MB — the Table II/III
+           N_DUP x PPN regime with intra-node (shm) traffic mixed in.
+ext_cg     64 nodes, PPN=4, many small waves of 20 kB flows — the §VI
+           conjugate-gradient regime: latency-bound, high event rate.
+=========  ==================================================================
+
+Metrics per workload:
+
+``events_processed`` / ``events_cancelled`` / ``peak_heap_size`` /
+``heap_compactions``
+    Deterministic simulator-cost counters — identical on every machine and
+    every run, so the CI gate compares them **exactly** (any drift means the
+    event structure changed).
+
+``events/sec``
+    ``events_processed / wall`` (best wall time of several repetitions).
+
+``canonical events/sec``
+    ``baseline_pre_events / wall``: the event count is pinned to what the
+    *pre-optimization* simulator processed for the same storm (stored in
+    ``BENCH_sim_core.json``), so the metric is a pure wall-time throughput
+    measure on a fixed workload — it cannot be inflated by processing more
+    (e.g. stale no-op) events, and the ≥2x acceptance criterion on the
+    table1 storm equals a ≥2x wall-time speedup.
+
+``ref_loop_eps``
+    Throughput of a trivial schedule-one-fire-one engine loop, measured in
+    the same process.  The CI gate divides walls by it to normalize away
+    machine speed before applying its 20% regression tolerance.
+
+Run ``python -m repro.bench perf_sim_core --check`` to compare against the
+committed baseline; see ``docs/perf.md`` for how to regenerate it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.bench.harness import ExperimentOutput
+from repro.netmodel.fabric import Fabric
+from repro.netmodel.topology import block_placement
+from repro.sim.engine import Engine
+from repro.util import Table
+
+BASELINE_FILE = "BENCH_sim_core.json"
+
+#: name -> (nodes, ppn, flows/wave, quick waves, full waves, nbytes, stagger)
+WORKLOADS: dict[str, tuple[int, int, int, int, int, int, int]] = {
+    "table1": (64, 1, 256, 12, 40, 3_822_500, 4),
+    "table2": (32, 4, 256, 12, 40, 1_000_000, 4),
+    "ext_cg": (64, 4, 64, 40, 120, 20_000, 2),
+}
+
+#: The acceptance criterion: canonical events/sec on the table1 storm must
+#: be at least this multiple of the pre-optimization baseline.
+SPEEDUP_TARGET = 2.0
+#: CI regression tolerance on (machine-normalized) events/sec.
+EPS_TOLERANCE = 0.20
+
+
+def run_storm(nodes: int, ppn: int, wave: int, waves: int, nbytes: int,
+              stagger: int) -> Engine:
+    """Drive one flow storm to completion; returns the drained engine.
+
+    Deliberately uses only the long-stable public surface (``call_after``,
+    ``Fabric.transfer``, ``Engine.run``) so the very same function can be
+    executed against an older simulator to (re)produce pre-optimization
+    baseline numbers.
+    """
+    eng = Engine()
+    fab = Fabric(eng, block_placement(nodes * ppn, ppn))
+    ranks = nodes * ppn
+    state = {"left": waves}
+
+    def post_wave(_ev=None):
+        w = waves - state["left"]
+        state["left"] -= 1
+        evs = []
+        for i in range(wave):
+            src = (i + w) % ranks
+            dst = (src + 1 + (i % 7)) % ranks
+            evs.append(fab.transfer(src, dst, nbytes))
+        if state["left"] > 0:
+            evs[-1].add_callback(lambda _e: post_wave())
+
+    # Staggered sub-waves approximate the N_DUP pipeline's overlapping
+    # posting fronts (several communicators in flight at once).
+    for s in range(stagger):
+        eng.call_after(s * 1e-5, post_wave)
+    eng.run()
+    return eng
+
+
+def ref_loop_eps(n: int = 200_000) -> float:
+    """Events/sec of a bare schedule-one-fire-one engine loop.
+
+    A machine-speed yardstick: it exercises only the heap and the dispatch
+    path, so dividing a storm's wall time by it cancels host speed without
+    hiding changes to the code under test.
+    """
+    eng = Engine()
+    state = {"left": n}
+
+    def tick():
+        if state["left"] > 0:
+            state["left"] -= 1
+            eng.call_after(1e-6, tick)
+
+    tick()
+    t0 = time.perf_counter()
+    eng.run()
+    return n / (time.perf_counter() - t0)
+
+
+def _measure(name: str, quick: bool, reps: int = 3) -> dict:
+    nodes, ppn, wave, wq, wf, nbytes, stagger = WORKLOADS[name]
+    waves = wq if quick else wf
+    run_storm(nodes, ppn, wave, min(waves, 4), nbytes, stagger)  # warmup
+    best_wall = None
+    eng = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        eng = run_storm(nodes, ppn, wave, waves, nbytes, stagger)
+        wall = time.perf_counter() - t0
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    # getattr defaults: counters that only exist post-optimization read as 0
+    # when this module is executed against an older simulator.
+    return {
+        "wall": best_wall,
+        "events": eng.events_processed,
+        "cancelled": getattr(eng, "events_cancelled", 0),
+        "peak_heap": getattr(eng, "peak_heap_size", 0),
+        "compactions": getattr(eng, "compactions", 0),
+        "eps": eng.events_processed / best_wall,
+    }
+
+
+def find_baseline() -> pathlib.Path | None:
+    """Locate the committed ``BENCH_sim_core.json`` (repo root)."""
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / BASELINE_FILE
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_baseline() -> dict | None:
+    path = find_baseline()
+    if path is None:
+        return None
+    return json.loads(path.read_text())
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    mode = "quick" if quick else "full"
+    baseline = load_baseline()
+    base = (baseline or {}).get(mode, {})
+    ref = ref_loop_eps()
+    t = Table(
+        ["Workload", "Events", "Cancelled", "Peak heap", "Compact",
+         "Wall (s)", "ev/s", "canon ev/s", "vs pre"],
+        title=f"perf-sim-core: simulator-core flow storms ({mode} mode)",
+    )
+    values: dict = {"mode": mode, "ref_eps": ref, "workloads": {}}
+    for name in WORKLOADS:
+        m = _measure(name, quick)
+        pre = base.get("pre", {}).get(name)
+        if pre:
+            m["canonical_eps"] = pre["events"] / m["wall"]
+            m["speedup_vs_pre"] = pre["wall"] / m["wall"]
+        values["workloads"][name] = m
+        t.add_row([
+            name, m["events"], m["cancelled"], m["peak_heap"],
+            m["compactions"], m["wall"],
+            m["eps"],
+            m.get("canonical_eps", float("nan")),
+            m.get("speedup_vs_pre", float("nan")),
+        ])
+    return ExperimentOutput(
+        name="perf_sim_core",
+        tables=[t],
+        values=values,
+        notes=(
+            "'canon ev/s' divides the PRE-optimization event count by the\n"
+            "current wall time (fixed-workload throughput; 2x canon ev/s ==\n"
+            "2x wall speedup).  'vs pre' is measured against the committed\n"
+            f"{BASELINE_FILE}; counters are deterministic and gated exactly.\n"
+            "See docs/perf.md."
+        ),
+    )
+
+
+def check(output: ExperimentOutput) -> None:
+    """CI gate: deterministic counters exact, throughput within tolerance.
+
+    Wall-time comparisons are machine-normalized: both sides' walls are
+    scaled by their own ``ref_loop_eps`` so a slower CI host does not fail
+    the gate (and a faster one does not mask a regression).
+    """
+    baseline = load_baseline()
+    assert baseline is not None, (
+        f"{BASELINE_FILE} not found — regenerate it (see docs/perf.md)"
+    )
+    mode = output.values["mode"]
+    base = baseline.get(mode)
+    assert base is not None, f"baseline has no {mode!r} section"
+    base_ref = baseline["ref_eps"]
+    ref = output.values["ref_eps"]
+    # normalized wall = wall / (machine slowness); slowness = base_ref / ref.
+    scale = ref / base_ref
+    for name, m in output.values["workloads"].items():
+        post = base["post"][name]
+        for key in ("events", "cancelled", "peak_heap", "compactions"):
+            assert m[key] == post[key], (
+                f"{name}: deterministic counter {key!r} drifted: "
+                f"{m[key]} != baseline {post[key]}"
+            )
+        norm_wall = m["wall"] * scale
+        limit = post["wall"] * (1.0 + EPS_TOLERANCE)
+        assert norm_wall <= limit, (
+            f"{name}: normalized wall {norm_wall:.4f}s exceeds baseline "
+            f"{post['wall']:.4f}s by more than {EPS_TOLERANCE:.0%} "
+            f"(events/sec regression)"
+        )
+        pre = base["pre"][name]
+        speedup = pre["wall"] / norm_wall
+        m["normalized_speedup_vs_pre"] = speedup
+    t1 = output.values["workloads"]["table1"]["normalized_speedup_vs_pre"]
+    assert t1 >= SPEEDUP_TARGET, (
+        f"table1 storm speedup vs pre-optimization baseline is {t1:.2f}x, "
+        f"below the required {SPEEDUP_TARGET:.1f}x"
+    )

@@ -62,17 +62,28 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "ablation_verify",
         "runtime-verifier overhead: simulated time unchanged, wall cost only",
     ),
+    "perf_sim_core": (
+        "perf_sim_core",
+        "simulator-core microbenchmark vs the committed perf baseline",
+    ),
 }
 
 
 @dataclass
 class ExperimentOutput:
-    """Tables + raw values produced by one experiment run."""
+    """Tables + raw values produced by one experiment run.
+
+    ``sim_stats`` carries the simulator-cost counters accumulated while the
+    experiment ran (events processed/cancelled, peak heap size, heap
+    compactions) — kept separate from ``values`` because every experiment's
+    ``check()`` treats ``values`` as *its own* result dictionary.
+    """
 
     name: str
     tables: list[Table] = field(default_factory=list)
     values: dict = field(default_factory=dict)
     notes: str = ""
+    sim_stats: dict = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [f"### {self.name}"]
@@ -80,6 +91,15 @@ class ExperimentOutput:
             parts.append(t.render())
         if self.notes:
             parts.append(self.notes.rstrip() + "\n")
+        if self.sim_stats:
+            s = self.sim_stats
+            parts.append(
+                "simulator cost: "
+                f"{s.get('events_processed', 0):,} events processed, "
+                f"{s.get('events_cancelled', 0):,} cancelled, "
+                f"peak heap {s.get('peak_heap_size', 0):,}, "
+                f"{s.get('heap_compactions', 0)} compactions\n"
+            )
         return "\n".join(parts)
 
 
@@ -92,6 +112,18 @@ def load_experiment(name: str):
 
 
 def run_experiment(name: str, quick: bool = False) -> ExperimentOutput:
-    """Run one experiment end to end and return its output."""
+    """Run one experiment end to end and return its output.
+
+    Simulator-cost counters (events processed/cancelled, peak heap size,
+    compactions) are aggregated across every :class:`~repro.sim.engine.Engine`
+    the experiment creates and attached as ``output.sim_stats`` so reports
+    show simulator cost alongside simulated time.
+    """
+    from repro.sim.engine import Engine
+
     mod = load_experiment(name)
-    return mod.run(quick=quick)
+    Engine.reset_aggregate_stats()
+    out = mod.run(quick=quick)
+    if not out.sim_stats:
+        out.sim_stats = Engine.aggregate_stats()
+    return out

@@ -57,7 +57,11 @@ class ScheduleRunner:
         self.itemsize = int(itemsize)
         self.blocking = blocking
         self.label = label
-        self.done: SimEvent = world.engine.event(f"{label}@r{self.me_global}")
+        # Static event name ("coll" surfaces only in engine error messages);
+        # the per-op progress labels are precomputed once per runner.
+        self.done: SimEvent = world.engine.event("coll")
+        self._stage_label = f"{label}:stage"
+        self._add_label = f"{label}:add"
         self._round = 0
         self._pending = 0
         self._started = False
@@ -105,16 +109,16 @@ class ScheduleRunner:
         self.done.succeed(None)
 
     def _round_after_gap(self, gap: float) -> None:
-        def resume() -> None:
-            ops = self.schedule[self._round]
-            self._pending = 1
-            self._post_round(ops)
-            self._pending -= 1
-            if self._pending == 0:
-                self._round += 1
-                self._advance()
+        self.world.engine.schedule_after(gap, self._resume_after_gap)
 
-        self.world.engine.call_after(gap, resume)
+    def _resume_after_gap(self) -> None:
+        ops = self.schedule[self._round]
+        self._pending = 1
+        self._post_round(ops)
+        self._pending -= 1
+        if self._pending == 0:
+            self._round += 1
+            self._advance()
 
     def _post_round(self, ops: list) -> None:
         transport = self.world.transport
@@ -142,38 +146,39 @@ class ScheduleRunner:
 
     def _track(self, event: SimEvent, action: str | None, lo: int, hi: int) -> None:
         self._pending += 1
+        if action is None:
+            event.add_callback(self._on_plain_done)
+        else:
+            event.add_callback(self._on_op_done, action, lo, hi)
 
-        def on_done(ev: SimEvent) -> None:
-            if action == "copy":
-                if self.buf is not None and ev.value is not None:
-                    self.buf[lo:hi] = ev.value
-                # Stage the received bytes through the internal buffer
-                # (pack/unpack) on the process's progress engine.
-                copy_bytes = (hi - lo) * self.itemsize
-                if copy_bytes > 0:
-                    cev = self.world.progress_of(self.me_global).submit(
-                        copy_bytes / self.world.params.round_copy_bandwidth,
-                        label=f"{self.label}:stage",
-                    )
-                    cev.add_callback(lambda _e: self._complete_one())
-                else:
-                    self._complete_one()
-            elif action == "add":
-                if self.buf is not None and ev.value is not None:
-                    self.buf[lo:hi] += ev.value
-                combine_bytes = (hi - lo) * self.itemsize
-                if combine_bytes > 0:
-                    cev = self.world.progress_of(self.me_global).submit(
-                        combine_bytes / self.world.params.combine_bandwidth,
-                        label=f"{self.label}:add",
-                    )
-                    cev.add_callback(lambda _e: self._complete_one())
-                else:
-                    self._complete_one()
+    def _on_plain_done(self, _ev: SimEvent) -> None:
+        self._complete_one()
+
+    def _on_op_done(self, ev: SimEvent, action: str, lo: int, hi: int) -> None:
+        if action == "copy":
+            if self.buf is not None and ev.value is not None:
+                self.buf[lo:hi] = ev.value
+            # Stage the received bytes through the internal buffer
+            # (pack/unpack) on the process's progress engine.
+            copy_bytes = (hi - lo) * self.itemsize
+            if copy_bytes > 0:
+                self.world.progress_of(self.me_global).submit_cb(
+                    copy_bytes / self.world.params.round_copy_bandwidth,
+                    self._stage_label, self._complete_one,
+                )
             else:
                 self._complete_one()
-
-        event.add_callback(on_done)
+        else:  # "add"
+            if self.buf is not None and ev.value is not None:
+                self.buf[lo:hi] += ev.value
+            combine_bytes = (hi - lo) * self.itemsize
+            if combine_bytes > 0:
+                self.world.progress_of(self.me_global).submit_cb(
+                    combine_bytes / self.world.params.combine_bandwidth,
+                    self._add_label, self._complete_one,
+                )
+            else:
+                self._complete_one()
 
     def _complete_one(self) -> None:
         self._pending -= 1

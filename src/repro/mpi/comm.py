@@ -163,9 +163,12 @@ class CommView:
         return None, int(nbytes), 1, int(nbytes)
 
     def _trace_post(self, t0: float, label: str) -> None:
+        trace = self.world.trace
+        if not trace.enabled:
+            return
         t1 = self.world.engine.now
         if t1 > t0:
-            self.world.trace.add(self.gr, t0, t1, SpanKind.POST, label)
+            trace.add(self.gr, t0, t1, SpanKind.POST, label)
 
     def _next_tag(self):
         seq = self.comm._coll_seq[self.rank]
@@ -195,7 +198,8 @@ class CommView:
         t0 = self.world.engine.now
         if cost > 0:
             yield Delay(cost)
-        self._trace_post(t0, f"isend->l{dest}")
+        if self.world.trace.enabled:  # skip the label f-string in swept runs
+            self._trace_post(t0, f"isend->l{dest}")
         utag = _user_tag(tag)
         req = self.world.transport.post_send(
             self.comm.cid, self.gr, self.comm.ranks[dest], utag, nbytes, data

@@ -52,14 +52,38 @@ class ProgressEngine:
             finish = start + duration
         self.busy_until = finish
         self.total_busy += finish - start
-        ev = self.engine.event(f"progress(r{self.rank},{label})")
+        ev = self.engine.event("progress")
         if self.trace is not None and self.trace.enabled and duration > 0:
             self.trace.add(self.rank, start, finish, SpanKind.COMPUTE, f"progress:{label}")
         if finish <= now:
             ev.succeed(None)
         else:
-            self.engine.call_at(finish, lambda: ev.succeed(None))
+            self.engine.call_at(finish, ev.succeed)
         return ev
+
+    def submit_cb(self, duration: float, label: str, fn, *args) -> None:
+        """Like :meth:`submit`, but invokes ``fn(*args)`` on completion
+        instead of allocating a :class:`~repro.sim.engine.SimEvent` — the
+        collective executor's per-op fast path.  Accounting, fault dilation,
+        and trace spans are identical to :meth:`submit`.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration: {duration}")
+        now = self.engine.now
+        start = max(now, self.busy_until)
+        if self.faults is not None and duration > 0:
+            finish = self.faults.compute_finish(self.rank, start, duration)
+        else:
+            finish = start + duration
+        self.busy_until = finish
+        self.total_busy += finish - start
+        if self.trace is not None and self.trace.enabled and duration > 0:
+            self.trace.add(self.rank, start, finish, SpanKind.COMPUTE,
+                           f"progress:{label}")
+        if finish <= now:
+            fn(*args)
+        else:
+            self.engine.schedule_at(finish, fn, *args)
 
     def idle_at(self, t: float) -> bool:
         """True if the queue has drained by time ``t``."""

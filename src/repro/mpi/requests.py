@@ -34,7 +34,7 @@ from repro.sim.trace import SpanKind
 def _record_wait_span(world, rank: int, t0: float, label: str) -> None:
     """The shared WAIT-span bookkeeping of wait/waitall/waitany."""
     t1 = world.engine.now
-    if t1 > t0:
+    if t1 > t0 and world.trace.enabled:
         world.trace.add(rank, t0, t1, SpanKind.WAIT, label)
 
 
@@ -87,7 +87,14 @@ class Request:
                 v.on_wait_end(self.rank)
         if v is not None:
             v.mark_consumed(self)
-        _record_wait_span(self.world, self.rank, t0, f"wait {self.label}")
+        world = self.world
+        # Build the span label only when it will actually be recorded — the
+        # f-string is measurable overhead in trace-off benchmark sweeps.
+        if world.engine.now > t0 and world.trace.enabled:
+            world.trace.add(
+                self.rank, t0, world.engine.now, SpanKind.WAIT,
+                f"wait {self.label}",
+            )
         return self._result
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

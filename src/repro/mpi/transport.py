@@ -64,9 +64,15 @@ class Transport:
 
     def __init__(self, world):
         self.world = world
+        self._engine = world.engine
+        self._params = world.params
         # key -> deque of pending recv Requests / unmatched _SendStates
         self._recv_q: dict[tuple, deque] = {}
         self._send_q: dict[tuple, deque] = {}
+        # Request labels, interned per peer rank: the f-string cost is per
+        # distinct peer, not per message (labels surface in WAIT spans).
+        self._send_labels: dict[int, str] = {}
+        self._recv_labels: dict[int, str] = {}
         # Fault-injection bookkeeping (stays zero without a FaultPlan).
         self.dropped_transmissions = 0
         self.retransmissions = 0
@@ -90,10 +96,14 @@ class Transport:
         """
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
-        params = self.world.params
-        eager = nbytes <= params.rendezvous_threshold
-        done = self.world.engine.event(f"send(r{src}->r{dst},t{tag})")
-        req = Request(self.world, src, f"send->r{dst}", done)
+        eager = nbytes <= self._params.rendezvous_threshold
+        # Static event name: SimEvent names only surface in engine error
+        # messages, and the per-message f-string shows up in profiles.
+        done = self._engine.event("send")
+        label = self._send_labels.get(dst)
+        if label is None:
+            label = self._send_labels[dst] = f"send->r{dst}"
+        req = Request(self.world, src, label, done)
         state = _SendState(src, dst, nbytes, data, eager, req)
         key = (cid, dst, src, tag)
         if eager:
@@ -106,7 +116,7 @@ class Transport:
             self._matched(state, recv)
         else:
             q = self._send_q.setdefault(key, deque())
-            verifier = getattr(self.world, "verifier", None)
+            verifier = self.world.verifier
             if q and verifier is not None:
                 verifier.on_envelope_collision("send", cid, src, dst, tag,
                                                nbytes)
@@ -115,8 +125,11 @@ class Transport:
 
     def post_recv(self, cid: int, dst: int, src: int, tag: int) -> Request:
         """Post a receive at global rank ``dst`` for (``src``, ``tag``)."""
-        done = self.world.engine.event(f"recv(r{dst}<-r{src},t{tag})")
-        req = Request(self.world, dst, f"recv<-r{src}", done)
+        done = self._engine.event("recv")
+        label = self._recv_labels.get(src)
+        if label is None:
+            label = self._recv_labels[src] = f"recv<-r{src}"
+        req = Request(self.world, dst, label, done)
         key = (cid, dst, src, tag)
         sq = self._send_q.get(key)
         if sq:
@@ -124,7 +137,7 @@ class Transport:
             self._matched(state, req)
         else:
             q = self._recv_q.setdefault(key, deque())
-            verifier = getattr(self.world, "verifier", None)
+            verifier = self.world.verifier
             if q and verifier is not None:
                 verifier.on_envelope_collision("recv", cid, src, dst, tag, 0)
             q.append(req)
@@ -164,19 +177,21 @@ class Transport:
                 SpanKind.MISC, f"drop+retry#{state.attempt}->r{state.dst}",
                 nbytes=state.nbytes,
             )
-            world.engine.call_after(delay, lambda s=state: self._transmit(s))
+            self._engine.schedule_after(delay, self._transmit, state)
             return
+        # transfer_cb: completion invokes the bound method directly — no
+        # per-message SimEvent on the fabric side (the hot-path fast lane).
         if state.eager:
-            flow = world.fabric.transfer(state.src, state.dst, state.nbytes)
-            flow.add_callback(lambda _ev, s=state: self._eager_arrived(s))
-        else:
-            flow = world.fabric.transfer(
-                state.src,
-                state.dst,
-                state.nbytes,
-                extra_latency=world.params.rendezvous_extra,
+            world.fabric.transfer_cb(
+                state.src, state.dst, state.nbytes, 0.0,
+                self._eager_arrived, state,
             )
-            flow.add_callback(lambda _ev, s=state: self._rendezvous_done(s))
+        else:
+            world.fabric.transfer_cb(
+                state.src, state.dst, state.nbytes,
+                self._params.rendezvous_extra,
+                self._rendezvous_done, state,
+            )
 
     def _eager_arrived(self, state: _SendState) -> None:
         state.arrived = True

@@ -17,6 +17,35 @@ redistributing a capped flow's unused share is deliberate — it reproduces the
 paper's observation that a single operation cannot soak up bandwidth freed by
 another operation that is stuck in a synchronization stage, which is exactly
 why overlapping communications helps.
+
+Batched rate resharing
+----------------------
+Rates depend only on which flows are active, so all the membership changes
+that happen at one virtual instant (a collective posting ``P`` flows at
+once, ``P`` ring-round flows finishing together) are coalesced into a
+*single* recompute, run as an end-of-instant engine hook
+(:meth:`~repro.sim.engine.Engine.at_instant_end`) after the instant's
+activations/completions have settled.  Per recompute, every affected flow's
+rate is derived once from the final membership — instead of once per
+membership change — and the per-resource equal share is memoized.  This
+turns the naive O(F) work *per flow event* (O(F²) per burst) into
+O(affected) per burst, without changing any completion time: intermediate
+rates during an instant are unobservable, because a rate only matters for
+the *duration* it is in effect, and that duration is zero within an
+instant.
+
+Lazy completion timers
+----------------------
+Each active flow tracks its exact completion time ``eta`` (recomputed on
+every rate change from the same floats the naive design used, so completion
+timestamps are bit-for-bit identical).  The heap entry for the completion
+is only *moved* when the new ``eta`` is earlier than the scheduled one;
+when a rate drop pushes ``eta`` later, the existing entry is kept and, on
+firing early, hops to the current ``eta`` — one cheap re-push absorbing any
+number of intervening rate drops.  Entries that must move earlier are
+:meth:`~repro.sim.engine.Engine.cancel`-ed rather than left in the heap as
+version-guarded no-ops, so the heap stays O(active flows) on long runs
+(see ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -28,6 +57,7 @@ from repro.sim.faults import FaultPlan
 from repro.sim.trace import SpanKind, Trace
 
 _EPS_BYTES = 1e-6
+_INF = float("inf")
 
 
 class Flow:
@@ -43,15 +73,18 @@ class Flow:
         "remaining",
         "rate",
         "last_t",
-        "version",
-        "done",
+        "eta",
+        "done_cb",
+        "done_args",
         "resources",
         "cap",
         "start_time",
         "active",
+        "timer",
     )
 
-    def __init__(self, fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap, done):
+    def __init__(self, fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap,
+                 done_cb, done_args):
         self.fid = fid
         self.src_rank = src_rank
         self.dst_rank = dst_rank
@@ -61,12 +94,14 @@ class Flow:
         self.remaining = float(nbytes)
         self.rate = 0.0
         self.last_t = 0.0
-        self.version = 0
-        self.done: SimEvent = done
+        self.eta = _INF  # exact completion time under the current rate
+        self.done_cb = done_cb
+        self.done_args = done_args
         self.resources: tuple = ()
         self.cap = cap
         self.start_time = 0.0
         self.active = False
+        self.timer: list | None = None  # pending completion heap entry
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -100,9 +135,14 @@ class Fabric:
             # Re-share capacities at every degradation window edge so flows
             # already in flight feel the throttle (and its lifting) mid-run.
             for when in faults.link_boundaries():
-                engine.call_at(when, self._refresh_rates)
+                engine.schedule_at(when, self._refresh_rates)
         self._flows_at: dict[tuple[str, int], set[Flow]] = {}
         self._next_fid = 0
+        # Membership changes awaiting the coalesced recompute (a dict, not a
+        # set, so iteration order is insertion order — independent of the
+        # interpreter's hash seed).
+        self._dirty: dict[tuple[str, int], None] = {}
+        self._armed = False  # end-of-instant recompute hook registered
         # Statistics (Table IV and the EXPERIMENTS report).
         self.inter_node_bytes = 0.0
         self.intra_node_bytes = 0.0
@@ -125,18 +165,35 @@ class Fabric:
         latency.  A transfer between co-located ranks rides the node's
         shared-memory path.
         """
+        done = self.engine.event("flow")
+        self.transfer_cb(src_rank, dst_rank, nbytes, extra_latency, done.succeed)
+        return done
+
+    def transfer_cb(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: float,
+        extra_latency: float,
+        done_cb,
+        *done_args,
+    ) -> None:
+        """Like :meth:`transfer`, but invokes ``done_cb(*done_args)`` on
+        delivery instead of allocating a :class:`SimEvent` — the transport
+        layer's per-message fast path.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
         if extra_latency < 0:
             raise ValueError(f"negative extra latency: {extra_latency}")
         p = self.params
-        src_node = self.cluster.node_of(src_rank)
-        dst_node = self.cluster.node_of(dst_rank)
+        cluster = self.cluster
+        src_node = cluster.node_of(src_rank)
+        dst_node = cluster.node_of(dst_rank)
         if self.faults is not None:
             extra_latency += self.faults.jitter_latency(
                 src_node, dst_node, self.engine.now
             )
-        done = self.engine.event(f"flow(r{src_rank}->r{dst_rank},{nbytes:.0f}B)")
         self._next_fid += 1
         if src_node == dst_node:
             latency = p.shm_alpha + extra_latency
@@ -151,11 +208,11 @@ class Fabric:
             self.inter_node_bytes += nbytes
             self.inter_node_messages += 1
         flow = Flow(
-            self._next_fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap, done
+            self._next_fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap,
+            done_cb, done_args,
         )
         flow.resources = resources
-        self.engine.call_after(latency, lambda: self._activate(flow))
-        return done
+        self.engine.schedule_after(latency, self._activate, flow)
 
     def snapshot_stats(self) -> dict:
         """Current transfer counters (bytes are cumulative since creation)."""
@@ -172,13 +229,6 @@ class Fabric:
 
     # -- internals --------------------------------------------------------------
 
-    def _flows(self, key: tuple[str, int]) -> set[Flow]:
-        s = self._flows_at.get(key)
-        if s is None:
-            s = set()
-            self._flows_at[key] = s
-        return s
-
     def _activate(self, flow: Flow) -> None:
         flow.active = True
         flow.start_time = self.engine.now
@@ -190,15 +240,28 @@ class Fabric:
         if flow.nbytes <= 0:
             self._complete(flow)
             return
+        flows_at = self._flows_at
         for key in flow.resources:
-            self._flows(key).add(flow)
-        self._update(flow.resources)
+            s = flows_at.get(key)
+            if s is None:
+                flows_at[key] = {flow}
+            else:
+                s.add(flow)
+        self._touch(flow.resources)
 
     def _complete(self, flow: Flow) -> None:
         flow.active = False
         flow.remaining = 0.0
+        if flow.timer is not None:
+            self.engine.cancel(flow.timer)
+            flow.timer = None
+        flows_at = self._flows_at
         for key in flow.resources:
-            self._flows_at.get(key, set()).discard(flow)
+            s = flows_at.get(key)
+            if s is not None:
+                s.discard(flow)
+                if not s:
+                    del flows_at[key]  # prune: keep _refresh_rates O(active)
         if flow.src_node != flow.dst_node:
             self._active_inter -= 1
             if self._active_inter == 0:
@@ -212,73 +275,126 @@ class Fabric:
                 f"flow->r{flow.dst_rank}",
                 nbytes=flow.nbytes,
             )
-        flow.done.succeed(None)
-        self._update(flow.resources)
+        flow.done_cb(*flow.done_args)
+        self._touch(flow.resources)
 
-    def _share(self, key: tuple[str, int]) -> float:
-        kind, owner = key
-        count = len(self._flows_at.get(key, ()))
-        if count == 0:
-            return float("inf")
-        if kind == "shm":
-            total = self.params.shm_bandwidth
-        elif kind == "px":
-            total = self.params.process_injection_bandwidth
-        else:
-            total = self.params.nic_bandwidth
-            if self.faults is not None:
-                total *= self.faults.bandwidth_factor(kind, owner, self.engine.now)
-        return total / count
+    def _touch(self, keys: tuple) -> None:
+        """Mark resources dirty; coalesce into one end-of-instant recompute."""
+        dirty = self._dirty
+        for key in keys:
+            dirty[key] = None
+        if not self._armed:
+            self._armed = True
+            self.engine.at_instant_end(self._recompute)
+
+    def _recompute(self) -> None:
+        """The coalesced recompute: one `_update` over this instant's keys."""
+        self._armed = False
+        keys = tuple(self._dirty)
+        self._dirty.clear()
+        self._update(keys)
 
     def _refresh_rates(self) -> None:
         """Recompute every active flow's rate (a degradation window edge)."""
-        keys = tuple(k for k, flows in self._flows_at.items() if flows)
+        keys = tuple(self._flows_at)  # empty sets are pruned eagerly
         if keys:
             self._update(keys)
 
     def _update(self, keys: tuple) -> None:
-        """Recompute rates of every flow touching ``keys``; reschedule completions."""
+        """Recompute rates of every flow touching ``keys``; move completions."""
         now = self.engine.now
+        flows_at = self._flows_at
         affected: set[Flow] = set()
         for key in keys:
-            affected |= self._flows_at.get(key, set())
-        shares = {key: self._share(key) for key in keys}
+            s = flows_at.get(key)
+            if s:
+                affected |= s
+        if len(affected) > 1:  # single-flow updates dominate; skip the sort
+            affected = sorted(affected, key=_by_fid)
+        shares: dict = {}
+        engine = self.engine
+        maybe_done = self._maybe_done
+        params = self.params
+        faults = self.faults
         for f in affected:
             new_rate = f.cap
             for key in f.resources:
                 share = shares.get(key)
                 if share is None:
-                    share = self._share(key)
+                    # Equal share of the resource's capacity among the flows
+                    # currently bound to it (memoized for this recompute).
+                    fset = flows_at.get(key)
+                    if not fset:
+                        share = _INF
+                    else:
+                        kind = key[0]
+                        if kind == "shm":
+                            total = params.shm_bandwidth
+                        elif kind == "px":
+                            total = params.process_injection_bandwidth
+                        else:
+                            total = params.nic_bandwidth
+                            if faults is not None:
+                                total *= faults.bandwidth_factor(
+                                    kind, key[1], now
+                                )
+                        share = total / len(fset)
+                    shares[key] = share
                 if share < new_rate:
                     new_rate = share
-            if new_rate == f.rate and f.rate > 0.0:
+            rate = f.rate
+            if new_rate == rate and rate > 0.0:
                 continue  # unchanged binding: existing completion stays valid
             # Settle progress at the old rate.
-            if f.rate > 0.0:
-                f.remaining -= f.rate * (now - f.last_t)
+            if rate > 0.0:
+                f.remaining -= rate * (now - f.last_t)
                 if f.remaining < 0.0:
                     f.remaining = 0.0
             f.last_t = now
             f.rate = new_rate
-            f.version += 1
             if f.remaining <= _EPS_BYTES:
-                ver = f.version
-                self.engine.call_after(0.0, lambda f=f, v=ver: self._maybe_done(f, v))
+                eta = now
             elif new_rate > 0.0:
-                eta = f.remaining / new_rate
-                ver = f.version
-                self.engine.call_after(eta, lambda f=f, v=ver: self._maybe_done(f, v))
+                eta = now + f.remaining / new_rate
+            else:
+                # Throttled to zero: completion unschedulable until a rate
+                # returns.  A pending early timer hops harmlessly via the
+                # eta-is-inf guard in _maybe_done.
+                f.eta = _INF
+                continue
+            f.eta = eta
+            t = f.timer
+            if t is not None:
+                if t[0] <= eta:
+                    # Rate dropped (or held): the earlier entry stays and
+                    # hops to the new eta when it fires — no heap traffic.
+                    continue
+                engine.cancel(t)  # superseded by an *earlier* completion
+            f.timer = engine.schedule_at(eta, maybe_done, f)
 
-    def _maybe_done(self, flow: Flow, version: int) -> None:
-        if not flow.active or flow.version != version:
-            return  # a newer rate assignment superseded this completion
+    def _maybe_done(self, flow: Flow) -> None:
+        flow.timer = None
+        if not flow.active:
+            return
+        eta = flow.eta
+        now = self.engine.now
+        if now < eta:
+            # Fired at a superseded (earlier) eta: hop to the exact current
+            # one.  eta is absolute, so no float drift accumulates.
+            if eta < _INF:
+                flow.timer = self.engine.schedule_at(eta, self._maybe_done, flow)
+            return
         # Settle and verify the bytes are indeed drained (guards float drift).
-        flow.remaining -= flow.rate * (self.engine.now - flow.last_t)
-        flow.last_t = self.engine.now
+        flow.remaining -= flow.rate * (now - flow.last_t)
+        flow.last_t = now
         if flow.remaining <= _EPS_BYTES * max(1.0, flow.nbytes):
             self._complete(flow)
         else:  # pragma: no cover - defensive; only reachable via float drift
-            flow.version += 1
-            eta = flow.remaining / flow.rate if flow.rate > 0 else 0.0
-            ver = flow.version
-            self.engine.call_after(eta, lambda f=flow, v=ver: self._maybe_done(f, v))
+            eta = now + flow.remaining / flow.rate if flow.rate > 0 else now
+            flow.eta = eta
+            flow.timer = self.engine.schedule_at(eta, self._maybe_done, flow)
+
+
+def _by_fid(flow: Flow) -> int:
+    """Deterministic iteration key for affected-flow sets (hash-seed-free)."""
+    return flow.fid

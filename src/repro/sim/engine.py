@@ -1,10 +1,42 @@
 """Event loop and one-shot events for the discrete-event simulator.
 
-The :class:`Engine` owns a binary heap of ``(time, seq, callback)`` entries.
+The :class:`Engine` owns a binary heap of ``[time, seq, fn, args]`` entries.
 ``seq`` is a monotonically increasing counter so that callbacks scheduled for
 the same virtual time fire in FIFO order, which makes every run of a
 simulation bit-for-bit deterministic — a property the tests and the paper
 reproduction rely on (there is no wall-clock noise in any reported number).
+
+Heap hygiene
+------------
+Entries are mutable lists so a scheduled callback can be retracted in O(1)
+by blanking its ``fn`` slot in place.  :meth:`Engine.call_at` returns a
+:class:`Timer` handle whose :meth:`Timer.cancel` does exactly that; layers
+that supersede their own completions (most importantly the fluid-flow
+fabric, which moves a flow's completion every time its share of a NIC
+changes) cancel the stale entry instead of leaving a version-guarded no-op
+to rot in the heap.  Cancelled entries are reaped lazily when they surface
+at the heap top; when more than half of the heap is dead, the whole heap is
+compacted in one O(n) pass.  Neither reaping nor compaction can reorder
+live entries: ordering is always by ``(time, seq)`` and ``seq`` is unique,
+so list comparison never reaches the (uncomparable) callback slot.
+
+Hot-path scheduling
+-------------------
+:meth:`Engine.schedule_at` / :meth:`Engine.schedule_after` are the
+allocation-lean primitives: they accept positional arguments
+(``schedule_at(t, fn, a, b)``) so hot call sites pass bound methods plus
+arguments instead of allocating a closure per event, and they return the
+raw heap entry (cancel it with :meth:`Engine.cancel`).  :meth:`call_at` /
+:meth:`call_after` wrap the same entry in a :class:`Timer` handle — the
+friendlier API for code outside the simulator core.
+
+End-of-instant hooks
+--------------------
+:meth:`Engine.at_instant_end` registers a callback to run after the last
+event of the *current virtual instant* and before the clock advances.  The
+fabric uses this to coalesce all rate recomputation triggered within one
+instant into a single pass without paying a zero-delay heap round-trip per
+burst (see ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -13,9 +45,45 @@ import heapq
 from collections.abc import Callable
 from typing import Any
 
+#: Below this heap size compaction is pointless — reaping at the top is
+#: cheaper than rebuilding, and tiny heaps cannot amortize the O(n) pass.
+_COMPACT_MIN = 64
+
 
 class SimulationError(RuntimeError):
     """Raised when a simulated process fails or the engine detects misuse."""
+
+
+class Timer:
+    """Handle for one scheduled callback; supports :meth:`cancel`.
+
+    A cancelled timer never fires.  Cancellation is O(1): the heap entry is
+    marked dead in place and reclaimed lazily by the engine.
+    """
+
+    __slots__ = ("engine", "entry")
+
+    def __init__(self, engine: "Engine", entry: list):
+        self.engine = engine
+        self.entry = entry
+
+    @property
+    def when(self) -> float:
+        """Virtual time the callback is (or was) scheduled for."""
+        return self.entry[0]
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called (or the timer fired)."""
+        return self.entry[2] is None
+
+    def cancel(self) -> None:
+        """Retract the callback; safe to call on a fired/cancelled timer."""
+        self.engine.cancel(self.entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled/fired" if self.entry[2] is None else f"at {self.entry[0]}"
+        return f"<Timer {state}>"
 
 
 class SimEvent:
@@ -26,6 +94,11 @@ class SimEvent:
     callback on an already-fired event invokes it immediately: this is what
     lets a process wait on e.g. a message that already arrived without any
     special-casing.
+
+    Like :meth:`Engine.call_at`, :meth:`add_callback` accepts extra
+    positional arguments (``ev.add_callback(fn, a, b)`` fires ``fn(ev, a,
+    b)``) so hot registration sites can pass bound methods plus state
+    instead of allocating a closure per message.
     """
 
     __slots__ = ("engine", "name", "_fired", "value", "_callbacks", "fire_time")
@@ -36,7 +109,7 @@ class SimEvent:
         self._fired = False
         self.value: Any = None
         self.fire_time: float | None = None
-        self._callbacks: list[Callable[["SimEvent"], None]] = []
+        self._callbacks: list[tuple[Callable[..., None], tuple]] = []
 
     @property
     def fired(self) -> bool:
@@ -51,15 +124,15 @@ class SimEvent:
         self.value = value
         self.fire_time = self.engine.now
         callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        for cb, args in callbacks:
+            cb(self, *args)
 
-    def add_callback(self, cb: Callable[["SimEvent"], None]) -> None:
-        """Register ``cb(event)``; runs immediately if already fired."""
+    def add_callback(self, cb: Callable[..., None], *args) -> None:
+        """Register ``cb(event, *args)``; runs immediately if already fired."""
         if self._fired:
-            cb(self)
+            cb(self, *args)
         else:
-            self._callbacks.append(cb)
+            self._callbacks.append((cb, args))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self._fired else "pending"
@@ -79,11 +152,30 @@ class Engine:
     idle simulation costs nothing.
     """
 
+    # Process-wide aggregates across engines, flushed at the end of every
+    # :meth:`run`.  The benchmark harness resets these before an experiment
+    # and reads them afterwards so per-experiment reports can show simulator
+    # cost (an experiment typically creates and discards many Worlds).
+    _agg_events = 0
+    _agg_cancelled = 0
+    _agg_peak_heap = 0
+    _agg_compactions = 0
+
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # Heap entries: [when, seq, fn, args].  fn is None once cancelled
+        # or fired; seq is unique so comparison never reaches fn.
+        self._heap: list[list] = []
         self._seq = 0
         self._nevents = 0
+        self._ndead = 0  # cancelled entries still physically in the heap
+        self._flush: list[Callable[[], None]] = []
+        self.events_cancelled = 0
+        self.peak_heap_size = 0
+        self.compactions = 0
+        self._flushed = (0, 0, 0)  # (events, cancelled, compactions) reported
+
+    # -- statistics ---------------------------------------------------------
 
     @property
     def events_processed(self) -> int:
@@ -91,25 +183,114 @@ class Engine:
         return self._nevents
 
     @property
+    def heap_size(self) -> int:
+        """Current number of heap entries, dead ones included."""
+        return len(self._heap)
+
+    @property
+    def dead_entries(self) -> int:
+        """Cancelled entries currently awaiting reap/compaction."""
+        return self._ndead
+
+    @property
+    def dead_entry_ratio(self) -> float:
+        """Cancelled callbacks as a fraction of all scheduled callbacks."""
+        total = self._nevents + self.events_cancelled + len(self._heap)
+        return self.events_cancelled / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Simulator-cost counters for one engine, as a plain dict."""
+        return {
+            "events_processed": self._nevents,
+            "events_cancelled": self.events_cancelled,
+            "peak_heap_size": self.peak_heap_size,
+            "heap_compactions": self.compactions,
+            "dead_entry_ratio": self.dead_entry_ratio,
+        }
+
+    @classmethod
+    def reset_aggregate_stats(cls) -> None:
+        """Zero the process-wide aggregates (harness: before an experiment)."""
+        cls._agg_events = 0
+        cls._agg_cancelled = 0
+        cls._agg_peak_heap = 0
+        cls._agg_compactions = 0
+
+    @classmethod
+    def aggregate_stats(cls) -> dict:
+        """Process-wide totals accumulated by every :meth:`run` since reset."""
+        return {
+            "events_processed": cls._agg_events,
+            "events_cancelled": cls._agg_cancelled,
+            "peak_heap_size": cls._agg_peak_heap,
+            "heap_compactions": cls._agg_compactions,
+        }
+
+    def _flush_aggregate(self) -> None:
+        ev, ca, co = self._flushed
+        cls = type(self)
+        cls._agg_events += self._nevents - ev
+        cls._agg_cancelled += self.events_cancelled - ca
+        cls._agg_compactions += self.compactions - co
+        if self.peak_heap_size > cls._agg_peak_heap:
+            cls._agg_peak_heap = self.peak_heap_size
+        self._flushed = (self._nevents, self.events_cancelled, self.compactions)
+
+    # -- scheduling ---------------------------------------------------------
+
+    @property
     def idle(self) -> bool:
         """True when nothing is scheduled — with unfinished processes this
         means the simulation can never make progress again (deadlock)."""
-        return not self._heap
+        return self.peek() is None
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Schedule ``fn()`` at absolute virtual time ``when``."""
+    def schedule_at(self, when: float, fn: Callable[..., None], *args) -> list:
+        """Schedule ``fn(*args)`` at ``when``; returns the raw heap entry.
+
+        The entry can be retracted with :meth:`cancel`.  This is the
+        allocation-lean primitive for simulator-internal hot paths; code
+        outside the core should prefer :meth:`call_at`, whose
+        :class:`Timer` handle carries a friendlier API.
+        """
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < now={self.now}"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn))
+        self._seq = seq = self._seq + 1
+        entry = [when, seq, fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
 
-    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
-        """Schedule ``fn()`` after ``delay`` seconds of virtual time."""
+    def schedule_after(self, delay: float, fn: Callable[..., None], *args) -> list:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.call_at(self.now + delay, fn)
+        self._seq = seq = self._seq + 1
+        entry = [self.now + delay, seq, fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def call_at(self, when: float, fn: Callable[..., None], *args) -> Timer:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``.
+
+        Returns a :class:`Timer` that can be cancelled until it fires.
+        """
+        return Timer(self, self.schedule_at(when, fn, *args))
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        return Timer(self, self.schedule_after(delay, fn, *args))
+
+    def cancel(self, entry: list) -> None:
+        """Retract a scheduled entry; safe on fired/cancelled entries."""
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = ()
+        self.events_cancelled += 1
+        self._ndead += 1
+        if self._ndead * 2 > len(self._heap) >= _COMPACT_MIN:
+            self._compact()
 
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh unfired :class:`SimEvent` bound to this engine."""
@@ -118,28 +299,102 @@ class Engine:
     def timeout(self, delay: float, value: Any = None, name: str = "") -> SimEvent:
         """An event that fires automatically after ``delay`` virtual seconds."""
         ev = self.event(name or f"timeout({delay})")
-        self.call_after(delay, lambda: ev.succeed(value))
+        self.schedule_after(delay, ev.succeed, value)
         return ev
+
+    def at_instant_end(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after the current instant's last event, before the
+        clock advances (or the run ends).  Hooks run in registration order;
+        a hook may schedule new events at the current time (they still
+        belong to this instant) or re-register itself for a later instant.
+        Only meaningful from inside a callback during :meth:`run`.
+        """
+        self._flush.append(fn)
+
+    # -- heap hygiene -------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (O(n)).
+
+        Triggered from :meth:`cancel` once more than half the heap is dead,
+        so the heap stays O(live entries) even under workloads that cancel
+        most of what they schedule.  Live entries keep their ``(time, seq)``
+        keys, so pop order is unchanged.  The rebuild mutates the heap list
+        in place (slice assignment): :meth:`run`/:meth:`peek` hold aliases
+        to it across callbacks, and a cancel inside a callback lands here.
+        """
+        self._heap[:] = [e for e in self._heap if e[2] is not None]
+        heapq.heapify(self._heap)
+        self._ndead = 0
+        self.compactions += 1
+
+    # -- running ------------------------------------------------------------
 
     def run(self, until: float | None = None) -> float:
         """Process events until the heap is empty (or the clock passes ``until``).
 
         Returns the final virtual time.  Exceptions raised by callbacks (and
-        therefore by simulated processes) propagate to the caller.
+        therefore by simulated processes) propagate to the caller.  Events
+        scheduled exactly *at* ``until`` still fire; the clock never passes
+        ``until``.  End-of-instant hooks pending when the clock would pass
+        ``until`` run before this method returns.
         """
-        while self._heap:
-            when, _seq, fn = self._heap[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            self.now = when
-            self._nevents += 1
-            fn()
+        heap = self._heap
+        pop = heapq.heappop
+        flush = self._flush
+        peak = self.peak_heap_size
+        try:
+            while True:
+                while heap:
+                    entry = heap[0]
+                    fn = entry[2]
+                    if fn is None:  # cancelled: reap and move on
+                        pop(heap)
+                        self._ndead -= 1
+                        continue
+                    when = entry[0]
+                    if flush and when > self.now:
+                        # The current instant is complete: run its hooks
+                        # before letting the clock advance.
+                        for cb in flush:
+                            cb()
+                        del flush[:]
+                        continue  # hooks may have scheduled new events
+                    if until is not None and when > until:
+                        self.now = until
+                        return until
+                    hl = len(heap)
+                    if hl > peak:
+                        peak = hl
+                    pop(heap)
+                    self.now = when
+                    self._nevents += 1
+                    entry[2] = None  # mark fired; cancel() is now a no-op
+                    fn(*entry[3])
+                if not flush:
+                    break
+                for cb in flush:
+                    cb()
+                del flush[:]
+        finally:
+            if peak > self.peak_heap_size:
+                self.peak_heap_size = peak
+            self._flush_aggregate()
         if until is not None and until > self.now:
             self.now = until
         return self.now
 
     def peek(self) -> float | None:
-        """Virtual time of the next pending callback, or None if idle."""
-        return self._heap[0][0] if self._heap else None
+        """Virtual time of the next pending callback, or None if idle.
+
+        Reaps any cancelled entries sitting at the heap top, so the answer
+        always refers to a live callback (also after a compaction).
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][2] is None:
+                heapq.heappop(heap)
+                self._ndead -= 1
+            else:
+                return heap[0][0]
+        return None

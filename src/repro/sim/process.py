@@ -85,7 +85,7 @@ class SimProcess:
         self.name = name
         self.done: SimEvent = engine.event(f"{name}.done")
         self._waiting_any: list[SimEvent] | None = None
-        engine.call_after(0.0, lambda: self._step(None))
+        engine.schedule_after(0.0, self._step, None)
 
     # -- engine interaction -------------------------------------------------
 
@@ -115,13 +115,17 @@ class SimProcess:
             raise SimulationError(f"process {self.name!r} failed: {err!r}") from err
         self._dispatch(syscall)
 
+    def _resume(self, ev: SimEvent) -> None:
+        """Event callback: continue the generator with the event's value."""
+        self._step(ev.value)
+
     def _dispatch(self, syscall: Any) -> None:
         if isinstance(syscall, Delay):
-            self.engine.call_after(syscall.dt, lambda: self._step(None))
+            self.engine.schedule_after(syscall.dt, self._step, None)
         elif isinstance(syscall, WaitEvent):
-            syscall.event.add_callback(lambda ev: self._step(ev.value))
+            syscall.event.add_callback(self._resume)
         elif isinstance(syscall, SimEvent):
-            syscall.add_callback(lambda ev: self._step(ev.value))
+            syscall.add_callback(self._resume)
         elif isinstance(syscall, AllOf):
             self._wait_all(syscall.events)
         elif isinstance(syscall, AnyOf):
@@ -133,7 +137,7 @@ class SimProcess:
 
     def _wait_all(self, events: list[SimEvent]) -> None:
         if not events:
-            self.engine.call_after(0.0, lambda: self._step([]))
+            self.engine.schedule_after(0.0, self._step, [])
             return
         remaining = {"n": len(events)}
 
@@ -169,7 +173,7 @@ class SimProcess:
         """
         if self.done.fired:
             return
-        self.engine.call_after(0.0, lambda: self._maybe_throw())
+        self.engine.schedule_after(0.0, self._maybe_throw)
 
     def _maybe_throw(self) -> None:
         if not self.done.fired:

@@ -112,6 +112,45 @@ class TestExtensionExperiments:
             assert key in EXPERIMENTS
 
 
+class TestPerfSimCore:
+    """Non-timing properties of the perf microbenchmark (the timing gate
+    itself runs in the CI perf job, not in unit tests)."""
+
+    def test_storms_are_deterministic(self):
+        from repro.bench.experiments.perf_sim_core import run_storm
+
+        runs = [run_storm(8, 2, 16, 3, 100_000, 2) for _ in range(2)]
+        assert runs[0].events_processed == runs[1].events_processed
+        assert runs[0].events_cancelled == runs[1].events_cancelled
+        assert runs[0].peak_heap_size == runs[1].peak_heap_size
+        assert runs[0].now == runs[1].now
+        assert runs[0].events_processed > 0
+
+    def test_committed_baseline_schema(self):
+        from repro.bench.experiments.perf_sim_core import WORKLOADS, load_baseline
+
+        baseline = load_baseline()
+        assert baseline is not None, "BENCH_sim_core.json missing from repo"
+        assert baseline["ref_eps"] > 0
+        for mode in ("quick", "full"):
+            for side in ("pre", "post"):
+                for name in WORKLOADS:
+                    m = baseline[mode][side][name]
+                    assert m["wall"] > 0 and m["events"] > 0
+
+    def test_profile_flag(self, capsys):
+        rc = main(["secva", "--quick", "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cProfile top-20" in out
+        assert "cumulative" in out
+
+    def test_sim_stats_attached_and_rendered(self):
+        out = run_experiment("secva", quick=True)
+        assert out.sim_stats["events_processed"] > 0
+        assert "simulator cost:" in out.render()
+
+
 class TestAsciiRendering:
     def test_fig5_ascii(self, capsys):
         rc = main(["fig5", "--quick", "--ascii"])

@@ -1,0 +1,274 @@
+"""Cancellable timers, heap compaction, end-of-instant hooks, ``run(until=)``.
+
+Covers the engine's heap-hygiene layer: :meth:`Engine.call_at` handles with
+``cancel()``, lazy reaping plus threshold-triggered compaction, the raw
+``schedule_at``/``schedule_after`` primitives, the exact-timestamp semantics
+of ``run(until=)``, and :meth:`Engine.at_instant_end` hooks.
+"""
+
+import pytest
+
+from repro.sim.engine import _COMPACT_MIN, Engine, SimulationError
+
+
+class TestTimerCancel:
+    def test_cancelled_timer_never_fires(self):
+        eng = Engine()
+        fired = []
+        t = eng.call_after(1.0, fired.append, "x")
+        assert t.when == 1.0
+        assert not t.cancelled
+        t.cancel()
+        assert t.cancelled
+        eng.run()
+        assert fired == []
+        assert eng.events_cancelled == 1
+        assert eng.events_processed == 0
+        assert eng.now == 0.0  # nothing live ever advanced the clock
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        t = eng.call_after(1.0, lambda: None)
+        t.cancel()
+        t.cancel()
+        assert eng.events_cancelled == 1
+        assert eng.dead_entries == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        eng = Engine()
+        fired = []
+        t = eng.call_after(1.0, fired.append, 1)
+        eng.run()
+        assert fired == [1]
+        t.cancel()  # too late: must not fire-count as a cancellation
+        assert t.cancelled  # fired timers read as no-longer-cancellable
+        assert eng.events_cancelled == 0
+        assert eng.dead_entries == 0
+
+    def test_cancel_same_instant_sibling_from_callback(self):
+        """An event may retract a later same-timestamp event before it runs."""
+        eng = Engine()
+        fired = []
+        second = eng.call_at(1.0, fired.append, "second")
+        eng.call_at(1.0, lambda: second.cancel())
+        # FIFO would run `second` first — schedule the canceller earlier.
+        fired.clear()
+        eng2 = Engine()
+        out = []
+        holder = {}
+        eng2.call_at(1.0, lambda: holder["t"].cancel())
+        holder["t"] = eng2.call_at(1.0, out.append, "victim")
+        eng2.run()
+        assert out == []
+        eng.run()  # original engine: victim fires before its canceller
+        assert fired == ["second"]
+
+    def test_raw_schedule_entry_cancel(self):
+        eng = Engine()
+        fired = []
+        entry = eng.schedule_at(2.0, fired.append, "a")
+        eng.schedule_after(1.0, fired.append, "b")
+        eng.cancel(entry)
+        eng.cancel(entry)  # idempotent on raw entries too
+        eng.run()
+        assert fired == ["b"]
+        assert eng.events_cancelled == 1
+
+    def test_mixed_primitives_keep_fifo_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule_at(1.0, order.append, 1)
+        eng.call_at(1.0, order.append, 2)
+        eng.schedule_after(1.0, order.append, 3)
+        eng.call_after(1.0, order.append, 4)
+        eng.run()
+        assert order == [1, 2, 3, 4]
+
+    def test_schedule_at_past_rejected(self):
+        eng = Engine()
+        eng.call_after(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            eng.schedule_after(-0.1, lambda: None)
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        eng = Engine()
+        fired = []
+        n = 4 * _COMPACT_MIN
+        timers = [eng.call_at(float(i + 1), fired.append, i) for i in range(n)]
+        survivors = timers[-20:]
+        for t in timers[:-20]:
+            t.cancel()
+        assert eng.compactions >= 1
+        # Compaction physically removed dead entries: far fewer than the
+        # number cancelled can remain.
+        assert eng.heap_size < n
+        assert eng.dead_entries < n - 20
+        eng.run()
+        assert fired == [n - 20 + i for i in range(20)]
+        assert all(t.cancelled for t in timers)
+        assert [t.when for t in survivors] == sorted(t.when for t in survivors)
+
+    def test_peek_after_compaction(self):
+        eng = Engine()
+        timers = [eng.call_at(float(i + 1), lambda: None) for i in range(100)]
+        for t in timers[:99]:
+            t.cancel()
+        assert eng.compactions >= 1
+        assert eng.peek() == 100.0  # earliest *live* entry, dead heads reaped
+        assert not eng.idle
+
+    def test_peek_reaps_dead_heads_without_compaction(self):
+        eng = Engine()
+        t1 = eng.call_at(1.0, lambda: None)
+        eng.call_at(2.0, lambda: None)
+        t1.cancel()  # below _COMPACT_MIN: stays in heap as a dead head
+        assert eng.peek() == 2.0
+        assert eng.dead_entries == 0  # the dead head was popped by peek
+
+    def test_small_heaps_never_compact(self):
+        eng = Engine()
+        timers = [eng.call_at(1.0, lambda: None) for _ in range(_COMPACT_MIN - 2)]
+        for t in timers:
+            t.cancel()
+        assert eng.compactions == 0
+
+    def test_peak_heap_size_tracked(self):
+        eng = Engine()
+
+        def burst():
+            for i in range(10):
+                eng.call_after(1.0 + i, lambda: None)
+
+        eng.call_at(1.0, burst)
+        eng.run()
+        assert eng.peak_heap_size >= 10
+
+
+class TestRunUntil:
+    def test_event_exactly_at_until_fires(self):
+        eng = Engine()
+        fired = []
+        eng.call_at(1.0, fired.append, "a")
+        eng.call_at(1.0, fired.append, "b")
+        eng.call_at(2.0, fired.append, "c")
+        assert eng.run(until=1.0) == 1.0
+        assert fired == ["a", "b"]
+        assert eng.now == 1.0
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_callback_scheduling_at_until_still_fires(self):
+        eng = Engine()
+        fired = []
+        eng.call_at(1.0, lambda: eng.call_at(1.0, fired.append, "chained"))
+        eng.run(until=1.0)
+        assert fired == ["chained"]
+
+    def test_until_between_events_advances_clock_only(self):
+        eng = Engine()
+        fired = []
+        eng.call_at(2.0, fired.append, "late")
+        assert eng.run(until=1.5) == 1.5
+        assert fired == []
+        assert eng.now == 1.5
+        assert eng.peek() == 2.0
+
+    def test_until_beyond_all_events(self):
+        eng = Engine()
+        eng.call_at(1.0, lambda: None)
+        assert eng.run(until=5.0) == 5.0
+        assert eng.now == 5.0
+
+    def test_until_with_cancelled_head(self):
+        eng = Engine()
+        fired = []
+        t = eng.call_at(1.0, fired.append, "dead")
+        eng.call_at(3.0, fired.append, "live")
+        t.cancel()
+        assert eng.run(until=2.0) == 2.0
+        assert fired == []
+        eng.run()
+        assert fired == ["live"]
+
+
+class TestInstantEndHooks:
+    def test_hook_runs_after_last_event_of_instant(self):
+        eng = Engine()
+        order = []
+        eng.call_at(1.0, lambda: (order.append("ev1"),
+                                  eng.at_instant_end(lambda: order.append("hook"))))
+        eng.call_at(1.0, order.append, "ev2")
+        eng.call_at(2.0, order.append, "late")
+        eng.run()
+        assert order == ["ev1", "ev2", "hook", "late"]
+
+    def test_hook_runs_at_end_of_run(self):
+        eng = Engine()
+        order = []
+        eng.call_at(1.0, lambda: eng.at_instant_end(lambda: order.append("hook")))
+        eng.run()
+        assert order == ["hook"]
+        assert eng.now == 1.0
+
+    def test_hook_may_extend_the_instant(self):
+        eng = Engine()
+        order = []
+
+        def hook():
+            order.append(("hook", eng.now))
+            eng.schedule_at(eng.now, lambda: order.append(("same", eng.now)))
+
+        eng.call_at(1.0, lambda: eng.at_instant_end(hook))
+        eng.call_at(2.0, lambda: order.append(("later", eng.now)))
+        eng.run()
+        assert order == [("hook", 1.0), ("same", 1.0), ("later", 2.0)]
+
+    def test_hook_runs_before_returning_at_until(self):
+        eng = Engine()
+        order = []
+        eng.call_at(1.0, lambda: eng.at_instant_end(lambda: order.append("hook")))
+        eng.call_at(5.0, order.append, "far")
+        eng.run(until=1.0)
+        assert order == ["hook"]
+
+    def test_hooks_run_in_registration_order(self):
+        eng = Engine()
+        order = []
+        eng.call_at(1.0, lambda: (eng.at_instant_end(lambda: order.append(1)),
+                                  eng.at_instant_end(lambda: order.append(2))))
+        eng.run()
+        assert order == [1, 2]
+
+
+class TestStats:
+    def test_stats_dict(self):
+        eng = Engine()
+        t = eng.call_after(1.0, lambda: None)
+        eng.call_after(2.0, lambda: None)
+        t.cancel()
+        eng.run()
+        s = eng.stats()
+        assert s["events_processed"] == 1
+        assert s["events_cancelled"] == 1
+        assert s["peak_heap_size"] >= 1
+        assert 0.0 <= s["dead_entry_ratio"] <= 1.0
+
+    def test_aggregate_stats_roundtrip(self):
+        Engine.reset_aggregate_stats()
+        for _ in range(3):
+            eng = Engine()
+            t = eng.call_after(1.0, lambda: None)
+            eng.call_after(2.0, lambda: None)
+            t.cancel()
+            eng.run()
+        agg = Engine.aggregate_stats()
+        assert agg["events_processed"] == 3
+        assert agg["events_cancelled"] == 3
+        assert agg["peak_heap_size"] >= 1  # max across engines, not a sum
+        Engine.reset_aggregate_stats()
+        assert Engine.aggregate_stats()["events_processed"] == 0

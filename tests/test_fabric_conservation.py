@@ -1,0 +1,182 @@
+"""Property-based conservation invariants for the fabric, faults included.
+
+The fluid model must conserve bytes no matter how transfers, rate reshares
+and fault windows interleave: every posted flow completes exactly once,
+cumulative byte counters equal what was posted, and no flow's ``remaining``
+ever drops below ``-_EPS_BYTES`` at any rate change.  A probe subclass
+asserts the invariants *during* the run (at every recompute) rather than
+only at the end, so a violation pinpoints the instant it happened.
+
+Also pins the `_flows_at` leak fix: resource keys whose flow sets drain
+must be pruned, so long-lived fabrics stay O(active flows), not O(every
+resource ever touched).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netmodel import NetworkParams
+from repro.netmodel.fabric import _EPS_BYTES, Fabric
+from repro.netmodel.topology import block_placement
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultPlan, LinkDegradation, NicJitter
+
+RANKS = 8
+PPN = 2
+
+
+class ProbeFabric(Fabric):
+    """Fabric that checks conservation invariants at every recompute."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.completions: list[tuple[float, float]] = []  # (nbytes, residual)
+
+    def _update(self, keys):
+        super()._update(keys)
+        for flows in self._flows_at.values():
+            for f in flows:
+                assert f.remaining >= -_EPS_BYTES, (
+                    f"flow {f.fid} remaining {f.remaining} < -eps"
+                )
+                assert f.rate >= 0.0
+                if f.rate > 0.0:
+                    assert f.eta >= self.engine.now
+
+    def _complete(self, flow):
+        self.completions.append((flow.nbytes, flow.remaining))
+        super()._complete(flow)
+
+
+def drive(flow_spec, faults=None):
+    """Post (src, dst_offset, nbytes, t_start) flows; run to completion."""
+    eng = Engine()
+    fab = ProbeFabric(eng, block_placement(RANKS, PPN),
+                      NetworkParams(), faults=faults)
+    finish_times = []
+    for (src, doff, nbytes, t0) in flow_spec:
+        dst = (src + 1 + doff) % RANKS
+
+        def start(src=src, dst=dst, nbytes=nbytes):
+            ev = fab.transfer(src, dst, nbytes)
+            ev.add_callback(lambda _e: finish_times.append(eng.now))
+
+        eng.call_after(t0, start)
+    eng.run()
+    return eng, fab, finish_times
+
+
+FLOWS = st.lists(
+    st.tuples(
+        st.integers(0, RANKS - 1),               # src
+        st.integers(0, RANKS - 2),               # dst offset (never self)
+        st.integers(0, 4_000_000),               # bytes
+        st.floats(0, 0.02, allow_nan=False),     # start time
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+WINDOWS = st.lists(
+    st.tuples(
+        st.integers(0, RANKS // PPN - 1),        # node
+        st.floats(0.0, 0.02, allow_nan=False),   # window start
+        st.floats(0.001, 0.05, allow_nan=False),  # window length
+        st.floats(0.05, 1.0, allow_nan=False),   # bandwidth factor
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+def check_conserved(fab, flow_spec, finish_times):
+    assert len(finish_times) == len(flow_spec)  # every flow completes once
+    cluster = fab.cluster
+    posted_inter = posted_intra = 0
+    for (src, doff, nbytes, _t0) in flow_spec:
+        dst = (src + 1 + doff) % RANKS
+        if cluster.same_node(src, dst):
+            posted_intra += nbytes
+        else:
+            posted_inter += nbytes
+    assert fab.inter_node_bytes == posted_inter
+    assert fab.intra_node_bytes == posted_intra
+    for nbytes, residual in fab.completions:
+        assert residual >= -_EPS_BYTES * max(1.0, nbytes)
+        assert residual <= _EPS_BYTES * max(1.0, nbytes)
+    # Leak fix: drained resource keys are pruned, dirty set fully consumed.
+    assert fab._flows_at == {}
+    assert fab._dirty == {}
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(flows=FLOWS)
+    def test_arbitrary_interleavings_conserve_bytes(self, flows):
+        eng, fab, finish = drive(flows)
+        check_conserved(fab, flows, finish)
+        assert eng.idle  # heap fully drained (dead entries reaped)
+
+    @settings(max_examples=40, deadline=None)
+    @given(flows=FLOWS, windows=WINDOWS, seed=st.integers(0, 3))
+    def test_fault_windows_conserve_bytes(self, flows, windows, seed):
+        specs = []
+        for (node, t0, length, factor) in windows:
+            specs.append(LinkDegradation(node=node, t_start=t0,
+                                         t_end=t0 + length, factor=factor))
+        specs.append(NicJitter(node=0, t_start=0.0, t_end=0.05,
+                               max_extra_latency=1e-5))
+        plan = FaultPlan(specs, seed=seed)
+        eng, fab, finish = drive(flows, faults=plan)
+        check_conserved(fab, flows, finish)
+        assert eng.idle
+
+    @settings(max_examples=20, deadline=None)
+    @given(flows=FLOWS)
+    def test_runs_are_deterministic(self, flows):
+        eng1, fab1, finish1 = drive(flows)
+        eng2, fab2, finish2 = drive(flows)
+        assert finish1 == finish2
+        assert eng1.events_processed == eng2.events_processed
+        assert eng1.events_cancelled == eng2.events_cancelled
+        assert eng1.peak_heap_size == eng2.peak_heap_size
+
+
+class TestHeapHygieneUnderLoad:
+    def test_sequential_flows_keep_heap_and_flows_at_bounded(self):
+        """200 back-to-back flows: no growth in heap or resource table."""
+        eng = Engine()
+        fab = ProbeFabric(eng, block_placement(RANKS, PPN), NetworkParams())
+        state = {"left": 200}
+
+        def post(_e=None):
+            if state["left"] == 0:
+                return
+            state["left"] -= 1
+            src = state["left"] % RANKS
+            ev = fab.transfer(src, (src + 3) % RANKS, 500_000)
+            ev.add_callback(post)
+
+        post()
+        eng.run()
+        assert len(fab.completions) == 200
+        assert fab._flows_at == {}
+        # One flow in flight at a time: the heap must stay O(1), not O(#flows).
+        assert eng.peak_heap_size < 12
+
+    def test_burst_cancellations_stay_compacted(self):
+        """A big overlapping burst exercises reshare-driven reschedules."""
+        eng = Engine()
+        fab = ProbeFabric(eng, block_placement(64, 1), NetworkParams())
+        for i in range(256):
+            src = i % 64
+            # Mixed sizes so completions stagger and survivors get rate
+            # bumps (uniform sizes finish in lockstep with zero reshares).
+            fab.transfer(src, (src + 1 + i % 7) % 64,
+                         2_000_000 + (i % 5) * 400_000)
+        eng.run()
+        assert len(fab.completions) == 256
+        assert fab._flows_at == {}
+        # Superseded completion timers are cancelled and compacted away:
+        # the heap never holds more than a small multiple of the live flows.
+        assert eng.peak_heap_size <= 4 * 256
+        assert eng.events_cancelled > 0
