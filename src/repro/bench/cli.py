@@ -79,6 +79,11 @@ def main(argv: list[str] | None = None) -> int:
         help="wrap each experiment in cProfile and print the top-20 "
              "cumulative hot spots",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run sweep-style experiments across N worker processes "
+             "(output is byte-identical to the serial run)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -117,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
 
             profiler = cProfile.Profile()
             profiler.enable()
-            out = run_experiment(name, quick=args.quick)
+            out = run_experiment(name, quick=args.quick, jobs=args.jobs)
             profiler.disable()
             stream = io.StringIO()
             pstats.Stats(profiler, stream=stream).sort_stats(
@@ -125,7 +130,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{name}] cProfile top-20 by cumulative time:")
             print(stream.getvalue())
         else:
-            out = run_experiment(name, quick=args.quick)
+            out = run_experiment(name, quick=args.quick, jobs=args.jobs)
         wall = time.time() - t0
         print(out.render())
         if args.ascii:

@@ -44,6 +44,12 @@ Metrics per workload:
     the same process.  The CI gate divides walls by it to normalize away
     machine speed before applying its 20% regression tolerance.
 
+``plan_cache``
+    A deterministic sweep over the collective plan cache (every algorithm
+    x process count x message size x rank, several passes): hit/miss/
+    eviction/entry counters are exact and gated against the baseline like
+    the engine counters; warm lookups/sec is informative only.
+
 Run ``python -m repro.bench perf_sim_core --check`` to compare against the
 committed baseline; see ``docs/perf.md`` for how to regenerate it.
 """
@@ -154,6 +160,38 @@ def _measure(name: str, quick: bool, reps: int = 3) -> dict:
     }
 
 
+#: The plan-cache sweep: every combination below is looked up once per rank
+#: per pass.  Counters are a pure function of these constants.
+PLAN_ALGS = ("bcast_binomial", "bcast_long", "reduce_rabenseifner",
+             "allreduce_long", "allgather_ring", "barrier")
+PLAN_PS = (4, 16, 64)
+PLAN_SIZES = (1_000, 1_000_000)
+PLAN_PASSES = 4
+
+
+def run_plan_cache_bench() -> dict:
+    """Deterministic plan-cache microbenchmark (same sweep in both modes).
+
+    Returns the cache's counters after the sweep plus ``lookups`` and the
+    (machine-dependent, informative-only) ``lookups_per_sec``.
+    """
+    from repro.mpi.collectives.plan import PlanCache
+
+    cache = PlanCache()
+    t0 = time.perf_counter()
+    for _ in range(PLAN_PASSES):
+        for alg in PLAN_ALGS:
+            for p in PLAN_PS:
+                for n in PLAN_SIZES:
+                    for me in range(p):
+                        cache.get(alg, p, me, 0, n, 8)
+    wall = time.perf_counter() - t0
+    stats = cache.stats()
+    stats["lookups"] = stats["hits"] + stats["misses"]
+    stats["lookups_per_sec"] = stats["lookups"] / wall
+    return stats
+
+
 def find_baseline() -> pathlib.Path | None:
     """Locate the committed ``BENCH_sim_core.json`` (repo root)."""
     here = pathlib.Path(__file__).resolve()
@@ -196,9 +234,20 @@ def run(quick: bool = False) -> ExperimentOutput:
             m.get("canonical_eps", float("nan")),
             m.get("speedup_vs_pre", float("nan")),
         ])
+    pc = run_plan_cache_bench()
+    values["plan_cache"] = pc
+    pt = Table(
+        ["Lookups", "Hits", "Misses", "Evictions", "Entries", "Hit rate",
+         "lookups/s"],
+        title="perf-sim-core: collective plan-cache sweep",
+    )
+    pt.add_row([
+        pc["lookups"], pc["hits"], pc["misses"], pc["evictions"],
+        pc["entries"], pc["hit_rate"], pc["lookups_per_sec"],
+    ])
     return ExperimentOutput(
         name="perf_sim_core",
-        tables=[t],
+        tables=[t, pt],
         values=values,
         notes=(
             "'canon ev/s' divides the PRE-optimization event count by the\n"
@@ -250,3 +299,11 @@ def check(output: ExperimentOutput) -> None:
         f"table1 storm speedup vs pre-optimization baseline is {t1:.2f}x, "
         f"below the required {SPEEDUP_TARGET:.1f}x"
     )
+    base_pc = baseline.get("plan_cache")
+    if base_pc is not None:
+        pc = output.values["plan_cache"]
+        for key in ("lookups", "hits", "misses", "evictions", "entries"):
+            assert pc[key] == base_pc[key], (
+                f"plan_cache: deterministic counter {key!r} drifted: "
+                f"{pc[key]} != baseline {base_pc[key]}"
+            )

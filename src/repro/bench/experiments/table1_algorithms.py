@@ -30,26 +30,38 @@ PAPER = {
 }
 
 
-def run(quick: bool = False) -> ExperimentOutput:
-    iterations = 1 if quick else 3
+_ALGS = (("original", {}), ("baseline", {}), ("optimized", {"n_dup": N_DUP}))
+
+
+def grid(quick: bool = False) -> list[tuple[str, str]]:
+    """One point per (system, algorithm), row-major in table order."""
     systems = ["1hsg_70"] if quick else list(SYSTEMS)
+    return [(system, alg) for system in systems for alg, _kw in _ALGS]
+
+
+def run_point(point: tuple[str, str], quick: bool = False) -> float:
+    system, alg = point
+    iterations = 1 if quick else 3
+    n, _nocc = SYSTEMS[system]
+    kwargs = dict(_ALGS)[alg]
+    r = run_ssc(P, n, alg, iterations=iterations, **kwargs)
+    return r.tflops
+
+
+def assemble(results: list[float], quick: bool = False) -> ExperimentOutput:
     t = Table(
         ["System", "Dim", "Alg.3 (TF)", "Alg.4 (TF)", "Alg.5 (TF)",
          "Alg5/Alg4", "paper Alg5/Alg4"],
         title="Table I: SymmSquareCube algorithm comparison (p=4, PPN=1, N_DUP=4)",
     )
+    by_point = dict(zip(grid(quick), results))
     values: dict = {}
-    for system in systems:
+    for system in ["1hsg_70"] if quick else list(SYSTEMS):
         n, _nocc = SYSTEMS[system]
-        r3 = run_ssc(P, n, "original", iterations=iterations)
-        r4 = run_ssc(P, n, "baseline", iterations=iterations)
-        r5 = run_ssc(P, n, "optimized", n_dup=N_DUP, iterations=iterations)
-        values[system] = (r3.tflops, r4.tflops, r5.tflops)
+        t3, t4, t5 = (by_point[(system, alg)] for alg, _kw in _ALGS)
+        values[system] = (t3, t4, t5)
         paper = PAPER[system]
-        t.add_row(
-            [system, n, r3.tflops, r4.tflops, r5.tflops,
-             r5.tflops / r4.tflops, paper[2] / paper[1]]
-        )
+        t.add_row([system, n, t3, t4, t5, t5 / t4, paper[2] / paper[1]])
     return ExperimentOutput(
         name="table1",
         tables=[t],
@@ -59,6 +71,10 @@ def run(quick: bool = False) -> ExperimentOutput:
             "baseline by >= 15% (paper: 17-21%)."
         ),
     )
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    return assemble([run_point(pt, quick=quick) for pt in grid(quick)], quick=quick)
 
 
 def check(output: ExperimentOutput) -> None:

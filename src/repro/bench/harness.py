@@ -9,11 +9,30 @@ Every experiment module in :mod:`repro.bench.experiments` exposes
 ``check(output: ExperimentOutput) -> None``
     Assert the *qualitative* reproduction targets listed in DESIGN.md
     (who wins, rough factors, monotonicity) — the benchmark tests call it.
+
+Sweep-style experiments may additionally expose the *grid protocol*:
+
+``grid(quick: bool = False) -> list``
+    The sweep's grid points, in output order.
+
+``run_point(point, quick: bool = False) -> result``
+    Run one grid point; the result must be picklable.
+
+``assemble(results: list, quick: bool = False) -> ExperimentOutput``
+    Build the experiment output from the per-point results (same order as
+    ``grid()``).
+
+When the protocol is present, :func:`run_experiment` drives the sweep
+itself — serially, or across worker processes with ``jobs > 1`` — with
+identical per-point isolation in both modes (simulator counters reset,
+plan cache cleared, ``numpy.random`` reseeded from a stable hash of the
+point index), so ``--jobs N`` output is byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
 import importlib
+import zlib
 from dataclasses import dataclass, field
 
 from repro.util import Table
@@ -100,6 +119,15 @@ class ExperimentOutput:
                 f"peak heap {s.get('peak_heap_size', 0):,}, "
                 f"{s.get('heap_compactions', 0)} compactions\n"
             )
+            pc = s.get("plan_cache")
+            if pc and (pc.get("hits", 0) or pc.get("misses", 0)):
+                parts.append(
+                    "plan cache: "
+                    f"{pc.get('hits', 0):,} hits, "
+                    f"{pc.get('misses', 0):,} misses, "
+                    f"{pc.get('evictions', 0)} evictions, "
+                    f"hit rate {pc.get('hit_rate', 0.0):.1%}\n"
+                )
         return "\n".join(parts)
 
 
@@ -111,19 +139,107 @@ def load_experiment(name: str):
     return importlib.import_module(f"repro.bench.experiments.{module_name}")
 
 
-def run_experiment(name: str, quick: bool = False) -> ExperimentOutput:
-    """Run one experiment end to end and return its output.
+def has_grid_protocol(mod) -> bool:
+    """True when the module exposes ``grid``/``run_point``/``assemble``."""
+    return all(hasattr(mod, a) for a in ("grid", "run_point", "assemble"))
 
-    Simulator-cost counters (events processed/cancelled, peak heap size,
-    compactions) are aggregated across every :class:`~repro.sim.engine.Engine`
-    the experiment creates and attached as ``output.sim_stats`` so reports
-    show simulator cost alongside simulated time.
-    """
+
+def point_seed(name: str, idx: int) -> int:
+    """Stable per-point RNG seed (same in serial and parallel sweeps)."""
+    return zlib.crc32(f"{name}:{idx}".encode()) & 0x7FFFFFFF
+
+
+def _isolate_point(name: str, idx: int) -> None:
+    """Reset all cross-point process state before running one grid point."""
+    import numpy as np
+
+    from repro.mpi.collectives.plan import shared_plans
+    from repro.sim.engine import Engine
+
+    shared_plans.clear()
+    Engine.reset_aggregate_stats()
+    np.random.seed(point_seed(name, idx))
+
+
+def _run_grid_point(payload):
+    """Worker entry point (top-level so spawn contexts can pickle it)."""
+    name, idx, point, quick = payload
+    from repro.mpi.collectives.plan import shared_plans
     from repro.sim.engine import Engine
 
     mod = load_experiment(name)
+    _isolate_point(name, idx)
+    result = mod.run_point(point, quick=quick)
+    return idx, result, Engine.aggregate_stats(), shared_plans.stats()
+
+
+def _merge_point_stats(engine_stats: list[dict], plan_stats: list[dict]) -> dict:
+    """Combine per-point counters the way one long-lived process would.
+
+    Engine events/cancellations/compactions and plan-cache counters are
+    extensive (summed); peak heap size is a maximum.  The merge is a pure
+    function of the ordered per-point stats, so serial and ``--jobs N``
+    sweeps produce identical ``sim_stats``.
+    """
+    merged = {
+        "events_processed": sum(s.get("events_processed", 0) for s in engine_stats),
+        "events_cancelled": sum(s.get("events_cancelled", 0) for s in engine_stats),
+        "peak_heap_size": max(
+            (s.get("peak_heap_size", 0) for s in engine_stats), default=0
+        ),
+        "heap_compactions": sum(s.get("heap_compactions", 0) for s in engine_stats),
+    }
+    hits = sum(p.get("hits", 0) for p in plan_stats)
+    misses = sum(p.get("misses", 0) for p in plan_stats)
+    lookups = hits + misses
+    merged["plan_cache"] = {
+        "hits": hits,
+        "misses": misses,
+        "evictions": sum(p.get("evictions", 0) for p in plan_stats),
+        "entries": sum(p.get("entries", 0) for p in plan_stats),
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+    return merged
+
+
+def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> ExperimentOutput:
+    """Run one experiment end to end and return its output.
+
+    Simulator-cost counters (events processed/cancelled, peak heap size,
+    compactions) and plan-cache hit/miss counters are aggregated across
+    every engine the experiment creates and attached as
+    ``output.sim_stats`` so reports show simulator cost alongside simulated
+    time.
+
+    ``jobs > 1`` shards grid-protocol experiments across a spawn-context
+    process pool; experiments without the protocol ignore ``jobs``.  Output
+    (tables, values, and merged ``sim_stats``) is byte-identical to the
+    serial run: points keep grid order and both modes apply the same
+    per-point isolation.
+    """
+    from repro.mpi.collectives.plan import shared_plans
+    from repro.sim.engine import Engine
+
+    mod = load_experiment(name)
+    if has_grid_protocol(mod):
+        points = list(mod.grid(quick=quick))
+        payloads = [(name, i, pt, quick) for i, pt in enumerate(points)]
+        if jobs > 1 and len(points) > 1:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("spawn")
+            with ctx.Pool(min(jobs, len(points))) as pool:
+                raw = pool.map(_run_grid_point, payloads)
+        else:
+            raw = [_run_grid_point(p) for p in payloads]
+        raw.sort(key=lambda r: r[0])  # grid order regardless of completion
+        out = mod.assemble([r[1] for r in raw], quick=quick)
+        out.sim_stats = _merge_point_stats([r[2] for r in raw], [r[3] for r in raw])
+        return out
     Engine.reset_aggregate_stats()
+    shared_plans.clear()
     out = mod.run(quick=quick)
     if not out.sim_stats:
         out.sim_stats = Engine.aggregate_stats()
+        out.sim_stats["plan_cache"] = shared_plans.stats()
     return out

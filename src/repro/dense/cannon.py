@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dense.distribution import block_dim
 from repro.dense.mesh import Mesh3D
+from repro.mpi.collectives.plan import block_partition, cannon_shift_plan
 from repro.mpi.world import RankEnv
 
 
@@ -49,30 +49,26 @@ def cannon_align(
     ``row_comm`` (spanning ``P[:, j, k]``).
     """
     q = mesh.pi
-    bi = block_dim(i, n, q)
-    bj = block_dim(j, n, q)
-    # --- A: (i, j) must send A[i, j] to (i, j') with j' = (j - i - offset) % q
-    a_dst = (j - i - offset) % q
-    a_src = (j + i + offset) % q
-    l0 = (i + j + offset) % q
+    dims, _ranges = block_partition(n, q)
+    bi, bj = dims[i], dims[j]
+    # A goes to (i, j') with j' = (j - i - offset) % q, B to (i', j) with
+    # i' = (i - j - offset) % q — memoized with the step itinerary.
+    (a_dst, a_src, b_dst, b_src, l0), _shifts = cannon_shift_plan(
+        q, i, j, n, 0, offset
+    )
     row_of_i = env.view(mesh.col_comm(i, k))  # spans P[i, :, k]; local rank = j
     if a_dst == j:
         a_recv = a_blk
     else:
-        payload = None if a_blk is None else a_blk
         a_recv = yield from _shift(
-            env, row_of_i, a_dst, a_src, payload, bi * block_dim(j, n, q) * 8, 11
+            env, row_of_i, a_dst, a_src, a_blk, bi * bj * 8, 11
         )
-    # --- B: (i, j) sends B[i, j] to (i', j) with i' = (i - j - offset) % q
-    b_dst = (i - j - offset) % q
-    b_src = (i + j + offset) % q
     col_of_j = env.view(mesh.row_comm(j, k))  # spans P[:, j, k]; local rank = i
     if b_dst == i:
         b_recv = b_blk
     else:
-        payload = None if b_blk is None else b_blk
         b_recv = yield from _shift(
-            env, col_of_j, b_dst, b_src, payload, block_dim(i, n, q) * bj * 8, 12
+            env, col_of_j, b_dst, b_src, b_blk, bi * bj * 8, 12
         )
     return a_recv, b_recv, l0
 
@@ -101,26 +97,27 @@ def cannon_program(
     if steps == 0:
         return c_acc
     q = mesh.pi
-    bi = block_dim(i, n, q)
-    bj = block_dim(j, n, q)
-    a_cur, b_cur, l = yield from cannon_align(env, mesh, k, i, j, n, offset, a_blk, b_blk)
+    dims, _ranges = block_partition(n, q)
+    bi, bj = dims[i], dims[j]
+    _align, shifts = cannon_shift_plan(q, i, j, n, steps, offset)
+    a_cur, b_cur, _l0 = yield from cannon_align(env, mesh, k, i, j, n, offset, a_blk, b_blk)
     row_of_i = env.view(mesh.col_comm(i, k))  # A travels here (local rank = j)
     col_of_j = env.view(mesh.row_comm(j, k))  # B travels here (local rank = i)
-    for t in range(steps):
-        bl = block_dim(l, n, q)
+    a_left, a_right = (j - 1) % q, (j + 1) % q
+    b_up, b_down = (i - 1) % q, (i + 1) % q
+    last = steps - 1
+    for t, (_l, bl) in enumerate(shifts):
         c_acc = yield from env.gemm(
             a_cur, b_cur, bi, bl, bj, accumulate=c_acc, label="cannon-gemm"
         )
-        if t == steps - 1:
+        if t == last:
             break  # no shift after the last multiply
-        l_next = (l + 1) % q
         # Shift A left: send to (i, j-1), receive A[i, l+1] from (i, j+1).
         a_cur = yield from _shift(
-            env, row_of_i, (j - 1) % q, (j + 1) % q, a_cur, bi * bl * 8, 13
+            env, row_of_i, a_left, a_right, a_cur, bi * bl * 8, 13
         )
         # Shift B up: send to (i-1, j), receive B[l+1, j] from (i+1, j).
         b_cur = yield from _shift(
-            env, col_of_j, (i - 1) % q, (i + 1) % q, b_cur, bl * bj * 8, 14
+            env, col_of_j, b_up, b_down, b_cur, bl * bj * 8, 14
         )
-        l = l_next
     return c_acc

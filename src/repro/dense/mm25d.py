@@ -19,8 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dense.cannon import cannon_program
-from repro.dense.distribution import block_dim, block_range
+from repro.dense.distribution import block_range
 from repro.dense.mesh import Mesh3D
+from repro.mpi.collectives.plan import block_partition
 from repro.mpi.world import RankEnv, World
 from repro.netmodel import MachineParams, NetworkParams, block_placement
 from repro.util import check_positive
@@ -55,8 +56,8 @@ def mm25d_program(
         raise ValueError(f"2.5D requires c | q, got q={q}, c={c}")
     s = q // c
     i, j, k = mesh.coords_of(env.rank)
-    bi = block_dim(i, n, q)
-    bj = block_dim(j, n, q)
+    dims, _ranges = block_partition(n, q)
+    bi, bj = dims[i], dims[j]
     grd = env.view(mesh.grd_comm(i, j))
     # Replicate A and B to all layers.
     a_home = yield from bcast_block_into(env, grd, a_blk, (bi, bj), 0, real)

@@ -29,8 +29,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dense.distribution import block_dim, block_range
+from repro.dense.distribution import block_range
 from repro.dense.mesh import Mesh3D
+from repro.mpi.collectives.plan import block_partition
 from repro.mpi.world import RankEnv, World
 from repro.netmodel import MachineParams, NetworkParams, block_placement
 from repro.util import check_positive
@@ -52,7 +53,8 @@ def mm3d_program(
     if mesh.pj != p or mesh.pk != p:
         raise ValueError("3D multiplication needs a cubic mesh")
     i, j, k = mesh.coords_of(env.rank)
-    bi, bj, bk = (block_dim(x, n, p) for x in (i, j, k))
+    dims, _ranges = block_partition(n, p)
+    bi, bj, bk = dims[i], dims[j], dims[k]
     gv_global = env.view(mesh.global_comm)
 
     # Step 2: route + broadcast A[i,k] within plane k.

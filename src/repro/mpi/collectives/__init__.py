@@ -15,6 +15,12 @@ for long messages, and dissemination barriers.  Blocking and nonblocking
 execution share one engine-driven :class:`~repro.mpi.collectives.executor.
 ScheduleRunner`; blocking execution inserts the per-round synchronization
 gap that pre-posted nonblocking schedules avoid.
+
+Runtime paths do not call the generators directly: they fetch a
+:class:`~repro.mpi.collectives.plan.CollectivePlan` from the shared LRU
+plan cache (:mod:`repro.mpi.collectives.plan`), which memoizes the
+generated schedule together with per-op byte counts and the static
+may-alias bit that enables zero-copy sends.
 """
 
 from repro.mpi.collectives.algorithms import (
@@ -33,8 +39,20 @@ from repro.mpi.collectives.algorithms import (
     validate_schedules,
 )
 from repro.mpi.collectives.executor import ScheduleRunner
+from repro.mpi.collectives.plan import (
+    SIZE_ONLY,
+    CollectivePlan,
+    PlanCache,
+    get_plan,
+    shared_plans,
+)
 
 __all__ = [
+    "SIZE_ONLY",
+    "CollectivePlan",
+    "PlanCache",
+    "get_plan",
+    "shared_plans",
     "bcast_binomial",
     "bcast_long",
     "reduce_binomial",

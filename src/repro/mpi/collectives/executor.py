@@ -21,14 +21,19 @@ Timing semantics
   FIFO progress engine — overlapped nonblocking reductions therefore
   *serialize* their summation work per process (paper Fig. 6, top).
 
-Data semantics (correctness mode): send ops snapshot the range, ``copy``
-stores, ``add`` accumulates; with ``buf=None`` only sizes are simulated.
+Data semantics (correctness mode): send ops pass a zero-copy view of their
+range unless the plan's static may-alias bit demands a snapshot (see
+:mod:`repro.mpi.collectives.plan`), ``copy`` stores, ``add`` accumulates;
+with ``buf=None`` only sizes are simulated and sends carry the symbolic
+:data:`~repro.mpi.collectives.plan.SIZE_ONLY` payload instead of touching
+numpy at all.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.mpi.collectives.plan import SIZE_ONLY, CollectivePlan
 from repro.sim.engine import SimEvent
 
 
@@ -41,7 +46,7 @@ class ScheduleRunner:
         comm,
         me_local: int,
         tag,
-        schedule: list,
+        schedule,
         buf,
         itemsize: int,
         blocking: bool,
@@ -52,7 +57,12 @@ class ScheduleRunner:
         self.me_local = me_local
         self.me_global = comm.ranks[me_local]
         self.tag = tag
-        self.schedule = schedule
+        if isinstance(schedule, CollectivePlan):
+            plan = schedule
+        else:  # raw list-of-rounds schedule from outside the plan cache
+            plan = CollectivePlan.from_schedule(schedule, itemsize)
+        self.plan = plan
+        self.schedule = plan.rounds
         self.buf = buf
         self.itemsize = int(itemsize)
         self.blocking = blocking
@@ -65,6 +75,8 @@ class ScheduleRunner:
         self._round = 0
         self._pending = 0
         self._started = False
+        self._batching = False
+        self._add_batch: list = []
 
     # -- driving -----------------------------------------------------------------
 
@@ -76,18 +88,18 @@ class ScheduleRunner:
         self._advance()
         return self.done
 
-    def _round_gap(self, i: int, ops: list) -> float:
+    def _round_gap(self, i: int, ops) -> float:
         """Blocking-synchronization gap for round ``i``.
 
         The gap models rendezvous/arrival-skew synchronization between
         blocking rounds; rounds that only move eager-sized messages
         complete without it (small blocking collectives are latency-bound,
-        not skew-bound).
+        not skew-bound).  The plan precomputes each round's maximum op
+        size, so the test is one comparison.
         """
         if not self.blocking or i == 0 or not ops:
             return 0.0
-        threshold = self.world.params.rendezvous_threshold
-        if any((op[3] - op[2]) * self.itemsize > threshold for op in ops):
+        if self.plan.round_max_nbytes[i] > self.world.params.rendezvous_threshold:
             return self.world.params.blocking_round_gap
         return 0.0
 
@@ -120,17 +132,30 @@ class ScheduleRunner:
             self._round += 1
             self._advance()
 
-    def _post_round(self, ops: list) -> None:
+    def _post_round(self, ops) -> None:
         transport = self.world.transport
         cid = self.comm.cid
+        buf = self.buf
+        ranks = self.comm.ranks
+        # Rounds with several nonzero adds batch the combines of payloads
+        # that arrive synchronously while posting (eager sends already in
+        # the unexpected queue) into one vectorized apply + one merged
+        # progress submission.  Single-add rounds — every generator in
+        # algorithms.py — take the unbatched path bit-for-bit unchanged.
+        batch = buf is not None and self.plan.round_adds[self._round] >= 2
+        if batch:
+            self._batching = True
         for op in ops:
-            kind, peer_local, lo, hi = op
-            peer_global = self.comm.ranks[peer_local]
-            nbytes = (hi - lo) * self.itemsize
+            kind, peer_local, lo, hi, nbytes, needs_copy = op
+            peer_global = ranks[peer_local]
             if kind == "send":
-                data = None
-                if self.buf is not None:
-                    data = np.array(self.buf[lo:hi])  # snapshot to avoid aliasing
+                if buf is None:
+                    data = SIZE_ONLY
+                elif needs_copy:
+                    data = np.array(buf[lo:hi])  # snapshot: a later receive
+                    # on this rank overlaps the range (plan may-alias bit)
+                else:
+                    data = buf[lo:hi]  # zero-copy view: provably alias-free
                 req = transport.post_send(
                     cid, self.me_global, peer_global, self.tag, nbytes, data
                 )
@@ -143,6 +168,10 @@ class ScheduleRunner:
                 self._track(req.done, "add", lo, hi)
             else:  # pragma: no cover - schedules are validated
                 raise ValueError(f"unknown op kind {kind!r}")
+        if batch:
+            self._batching = False
+            if self._add_batch:
+                self._flush_add_batch()
 
     def _track(self, event: SimEvent, action: str | None, lo: int, hi: int) -> None:
         self._pending += 1
@@ -155,9 +184,12 @@ class ScheduleRunner:
         self._complete_one()
 
     def _on_op_done(self, ev: SimEvent, action: str, lo: int, hi: int) -> None:
+        value = ev.value
+        if value is SIZE_ONLY:
+            value = None  # symbolic payload from a sizes-only sender
         if action == "copy":
-            if self.buf is not None and ev.value is not None:
-                self.buf[lo:hi] = ev.value
+            if self.buf is not None and value is not None:
+                self.buf[lo:hi] = value
             # Stage the received bytes through the internal buffer
             # (pack/unpack) on the process's progress engine.
             copy_bytes = (hi - lo) * self.itemsize
@@ -169,9 +201,15 @@ class ScheduleRunner:
             else:
                 self._complete_one()
         else:  # "add"
-            if self.buf is not None and ev.value is not None:
-                self.buf[lo:hi] += ev.value
             combine_bytes = (hi - lo) * self.itemsize
+            if self._batching and combine_bytes > 0:
+                # Arrived synchronously while _post_round was still posting
+                # this round; coalesced into one flush at the end of the loop.
+                self._add_batch.append((lo, hi, value, combine_bytes))
+                return
+            if self.buf is not None and value is not None:
+                dst = self.buf[lo:hi]
+                np.add(dst, value, out=dst)
             if combine_bytes > 0:
                 self.world.progress_of(self.me_global).submit_cb(
                     combine_bytes / self.world.params.combine_bandwidth,
@@ -179,6 +217,33 @@ class ScheduleRunner:
                 )
             else:
                 self._complete_one()
+
+    def _flush_add_batch(self) -> None:
+        """Apply batched same-round add payloads in one vectorized pass.
+
+        The accumulates run now (payload views must be consumed before any
+        zero-copy sender can move on), while the modeled combine time is
+        submitted as a single progress task covering the whole batch — same
+        total FIFO occupancy and same finish instant as the equivalent
+        back-to-back submissions.
+        """
+        batch = self._add_batch
+        self._add_batch = []
+        buf = self.buf
+        total = 0
+        for lo, hi, value, nbytes in batch:
+            if value is not None:
+                dst = buf[lo:hi]
+                np.add(dst, value, out=dst)
+            total += nbytes
+        self.world.progress_of(self.me_global).submit_cb(
+            total / self.world.params.combine_bandwidth,
+            self._add_label, self._complete_many, len(batch),
+        )
+
+    def _complete_many(self, n: int) -> None:
+        self._pending -= n - 1
+        self._complete_one()
 
     def _complete_one(self) -> None:
         self._pending -= 1

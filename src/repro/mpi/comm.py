@@ -23,20 +23,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.mpi.collectives.algorithms import (
-    _reduce_scatter_ring_rounds,
-    allgather_ring,
-    allreduce_long,
-    allreduce_ring,
-    allreduce_short,
-    barrier_dissemination,
-    bcast_binomial,
-    bcast_long,
-    reduce_binomial,
-    reduce_rabenseifner,
-    reduce_ring,
-)
 from repro.mpi.collectives.executor import ScheduleRunner
+from repro.mpi.collectives.plan import get_plan
 from repro.mpi.requests import Request
 from repro.sim.process import Delay
 from repro.sim.trace import SpanKind
@@ -63,6 +51,7 @@ class Comm:
         # to issue collectives on a communicator in the same order, so these
         # independent counters agree and give each collective a private tag.
         self._coll_seq = [0] * len(ranks)
+        self._views: dict[int, "CommView"] = {}
         verifier = getattr(world, "verifier", None)
         if verifier is not None:
             verifier.on_comm_created(self)
@@ -113,8 +102,16 @@ class Comm:
         }
 
     def view(self, global_rank: int) -> "CommView":
-        """The calling-rank-bound API object for ``global_rank``."""
-        return CommView(self, self.local(global_rank))
+        """The calling-rank-bound API object for ``global_rank``.
+
+        Views are stateless and cached per rank: the dense kernels re-ask
+        for the same view every step/iteration.
+        """
+        local = self.local(global_rank)
+        cv = self._views.get(local)
+        if cv is None:
+            cv = self._views[local] = CommView(self, local)
+        return cv
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Comm {self.name!r} cid={self.cid} size={self.size}>"
@@ -290,8 +287,8 @@ class CommView:
         p = self.comm.size
         nbytes = n_elems * itemsize
         if nbytes < self.world.params.long_message_threshold or p <= 2:
-            return bcast_binomial(p, root, self.rank, n_elems)
-        return bcast_long(p, root, self.rank, n_elems)
+            return get_plan("bcast_binomial", p, self.rank, root, n_elems, itemsize)
+        return get_plan("bcast_long", p, self.rank, root, n_elems, itemsize)
 
     def ibcast(self, buf=None, *, nbytes: int | None = None, root: int = 0):
         """Generator: nonblocking broadcast from ``root`` (MPI_Ibcast).
@@ -325,10 +322,11 @@ class CommView:
         p = self.comm.size
         nbytes = n_elems * itemsize
         if nbytes < self.world.params.long_message_threshold or p <= 2:
-            return reduce_binomial(p, root, self.rank, n_elems)
+            return get_plan("reduce_binomial", p, self.rank, root, n_elems, itemsize)
         if p & (p - 1) == 0:  # power of two: recursive halving (Rabenseifner)
-            return reduce_rabenseifner(p, root, self.rank, n_elems)
-        return reduce_ring(p, root, self.rank, n_elems)
+            return get_plan("reduce_rabenseifner", p, self.rank, root, n_elems,
+                            itemsize)
+        return get_plan("reduce_ring", p, self.rank, root, n_elems, itemsize)
 
     def _reduce_working(self, sendbuf, nbytes, label="reduce"):
         arr, n_elems, itemsize, nb = self._resolve_buf(sendbuf, nbytes)
@@ -380,10 +378,10 @@ class CommView:
         p = self.comm.size
         nbytes = n_elems * itemsize
         if nbytes < self.world.params.long_message_threshold or p <= 2:
-            return allreduce_short(p, self.rank, n_elems)
+            return get_plan("allreduce_short", p, self.rank, 0, n_elems, itemsize)
         if p & (p - 1) == 0:
-            return allreduce_long(p, self.rank, n_elems)
-        return allreduce_ring(p, self.rank, n_elems)
+            return get_plan("allreduce_long", p, self.rank, 0, n_elems, itemsize)
+        return get_plan("allreduce_ring", p, self.rank, 0, n_elems, itemsize)
 
     def iallreduce(self, sendbuf=None, *, nbytes: int | None = None):
         """Generator: nonblocking allreduce (sum); ``wait()`` returns the array."""
@@ -423,7 +421,8 @@ class CommView:
         arr, n_elems, itemsize, nb = self._resolve_buf(buf, nbytes)
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
-        sched = allgather_ring(self.comm.size, self.rank, n_elems)
+        sched = get_plan("allgather_ring", self.comm.size, self.rank, 0,
+                         n_elems, itemsize)
         req = self._start(sched, arr, itemsize, blocking=True,
                           label="allgather", op_nbytes=nb)
         result = yield from req.wait()
@@ -436,7 +435,8 @@ class CommView:
         if self.world.params.ibcast_post_seconds > 0:
             yield Delay(self.world.params.ibcast_post_seconds)
         self._trace_post(t0, "iallgather")
-        sched = allgather_ring(self.comm.size, self.rank, n_elems)
+        sched = get_plan("allgather_ring", self.comm.size, self.rank, 0,
+                         n_elems, itemsize)
         return self._start(sched, arr, itemsize, blocking=False,
                            label="iallgather", op_nbytes=nb)
 
@@ -462,7 +462,8 @@ class CommView:
         if cost > 0:
             yield Delay(cost)
         self._trace_post(t0, "ireduce_scatter")
-        sched = _reduce_scatter_ring_rounds(self.comm.size, 0, self.rank, n_elems)
+        sched = get_plan("reduce_scatter_ring", self.comm.size, self.rank, 0,
+                         n_elems, itemsize)
         req = self._start(sched, arr, itemsize, blocking=False,
                           label="ireduce_scatter", result=None, op_nbytes=nb)
         # The working buffer is only consistent in this rank's own segment
@@ -532,7 +533,7 @@ class CommView:
         """
         if self.world.params.send_overhead > 0:
             yield Delay(self.world.params.send_overhead)
-        sched = barrier_dissemination(self.comm.size, self.rank)
+        sched = get_plan("barrier", self.comm.size, self.rank, 0, 0, 1)
         return self._start(sched, None, 1, blocking=False, label="ibarrier",
                            op_nbytes=0)
 

@@ -34,6 +34,21 @@ rates during an instant are unobservable, because a rate only matters for
 the *duration* it is in effect, and that duration is zero within an
 instant.
 
+Cross-instant share caching
+---------------------------
+The equal share of a resource (``total / n_flows``) only changes when the
+resource's membership changes (or a fault window edge rescales ``total``).
+Shares are therefore cached *across* recomputes in :attr:`Fabric._share_cache`
+and invalidated per dirty key: a recompute only re-divides the resources
+whose flow sets actually changed this instant, while the min-rate scan over
+an affected flow's other resources hits the cache at C dict-lookup speed
+(the cache is a ``__missing__`` dict, so misses compute-and-store without an
+interpreted probe/branch).  Fault boundary refreshes clear the whole cache,
+because ``bandwidth_factor`` is piecewise-constant between boundaries.  The
+cached value is produced by the exact same expression as before
+(``total / len(flows)``), so every rate — and hence every completion
+timestamp — is bit-for-bit identical.
+
 Lazy completion timers
 ----------------------
 Each active flow tracks its exact completion time ``eta`` (recomputed on
@@ -50,14 +65,22 @@ version-guarded no-ops, so the heap stays O(active flows) on long runs
 
 from __future__ import annotations
 
+import heapq
+
 from repro.netmodel.params import NetworkParams
 from repro.netmodel.topology import Cluster
-from repro.sim.engine import Engine, SimEvent
+from repro.sim.engine import _COMPACT_MIN, Engine, SimEvent
 from repro.sim.faults import FaultPlan
 from repro.sim.trace import SpanKind, Trace
 
 _EPS_BYTES = 1e-6
 _INF = float("inf")
+
+# Resource keys are packed ints — ``(ident << 2) | kind`` — so the hot dict
+# operations (share cache hits, dirty marks, membership updates) hash a small
+# int instead of a (str, int) tuple.  ``ident`` is a node index for tx/rx/shm
+# and a rank for px.
+_K_TX, _K_RX, _K_PX, _K_SHM = 0, 1, 2, 3
 
 
 class Flow:
@@ -110,6 +133,45 @@ class Flow:
         )
 
 
+class _ShareCache(dict):
+    """Per-resource equal-share cache, valid across recomputes.
+
+    ``cache[key]`` returns the resource's current equal share; a miss
+    computes ``total / len(flows)`` from the live membership and stores it.
+    The fabric invalidates exactly the dirty keys each instant (membership
+    changed) and clears the cache at fault window edges (``total`` changed).
+    """
+
+    __slots__ = ("fabric",)
+
+    def __init__(self, fabric: "Fabric"):
+        super().__init__()
+        self.fabric = fabric
+
+    def __missing__(self, key):
+        fab = self.fabric
+        fset = fab._flows_at.get(key)
+        if not fset:
+            share = _INF
+        else:
+            kind = key & 3
+            params = fab.params
+            if kind == _K_SHM:
+                total = params.shm_bandwidth
+            elif kind == _K_PX:
+                total = params.process_injection_bandwidth
+            else:
+                total = params.nic_bandwidth
+                faults = fab.faults
+                if faults is not None:
+                    total *= faults.bandwidth_factor(
+                        "tx" if kind == _K_TX else "rx", key >> 2, fab.engine.now
+                    )
+            share = total / len(fset)
+        self[key] = share
+        return share
+
+
 class Fabric:
     """Shared-network simulator for one cluster.
 
@@ -129,6 +191,35 @@ class Fabric:
         self.engine = engine
         self.cluster = cluster
         self.params = params or NetworkParams()
+        # Per-rank precomputation for the transfer_cb hot path: node lookup
+        # without a method call, packed-int resource keys ready to use.
+        placement = tuple(
+            cluster.node_of(r) for r in range(cluster.num_ranks)
+        )
+        self._placement = placement
+        nranks_on: dict[int, int] = {}
+        for n in placement:
+            nranks_on[n] = nranks_on.get(n, 0) + 1
+        p = self.params
+        # On a single-rank node the px flow set equals the tx flow set, so
+        # whichever of the two capacities is smaller always yields the
+        # smaller share — the other resource can never bind and is dropped
+        # from the flow's resource tuple (pure wall-clock: the min-rate is
+        # unchanged).  Faults rescale tx/rx, so with a fault plan attached
+        # both are kept.
+        drop_tx = faults is None and p.process_injection_bandwidth < p.nic_bandwidth
+        drop_px = faults is None and p.process_injection_bandwidth >= p.nic_bandwidth
+        self._rx_key = tuple((n << 2) | _K_RX for n in placement)
+        self._shm_res = tuple(((n << 2) | _K_SHM,) for n in placement)
+        src_pfx = []
+        for r, n in enumerate(placement):
+            if nranks_on[n] == 1 and drop_tx:
+                src_pfx.append(((r << 2) | _K_PX,))
+            elif nranks_on[n] == 1 and drop_px:
+                src_pfx.append(((n << 2) | _K_TX,))
+            else:
+                src_pfx.append(((n << 2) | _K_TX, (r << 2) | _K_PX))
+        self._src_pfx = tuple(src_pfx)
         self.trace = trace
         self.faults = faults
         if faults is not None:
@@ -136,13 +227,19 @@ class Fabric:
             # already in flight feel the throttle (and its lifting) mid-run.
             for when in faults.link_boundaries():
                 engine.schedule_at(when, self._refresh_rates)
-        self._flows_at: dict[tuple[str, int], set[Flow]] = {}
+        # Per-resource membership as fid->Flow dicts: C-speed unions via
+        # dict.update and deterministic ordering via sorted(int fids).
+        self._flows_at: dict[tuple[str, int], dict[int, Flow]] = {}
+        self._share_cache = _ShareCache(self)
         self._next_fid = 0
         # Membership changes awaiting the coalesced recompute (a dict, not a
         # set, so iteration order is insertion order — independent of the
         # interpreter's hash seed).
-        self._dirty: dict[tuple[str, int], None] = {}
+        self._dirty: dict[int, None] = {}
         self._armed = False  # end-of-instant recompute hook registered
+        # Same-instant activation batches: arrival time -> flows, drained by
+        # one _activate_batch event per distinct arrival instant.
+        self._act_pending: dict[float, list[Flow]] = {}
         # Statistics (Table IV and the EXPERIMENTS report).
         self.inter_node_bytes = 0.0
         self.intra_node_bytes = 0.0
@@ -187,9 +284,9 @@ class Fabric:
         if extra_latency < 0:
             raise ValueError(f"negative extra latency: {extra_latency}")
         p = self.params
-        cluster = self.cluster
-        src_node = cluster.node_of(src_rank)
-        dst_node = cluster.node_of(dst_rank)
+        placement = self._placement
+        src_node = placement[src_rank]
+        dst_node = placement[dst_rank]
         if self.faults is not None:
             extra_latency += self.faults.jitter_latency(
                 src_node, dst_node, self.engine.now
@@ -198,13 +295,13 @@ class Fabric:
         if src_node == dst_node:
             latency = p.shm_alpha + extra_latency
             cap = p.shm_cap(nbytes)
-            resources = ((("shm", src_node)),)
+            resources = self._shm_res[src_rank]
             self.intra_node_bytes += nbytes
             self.intra_node_messages += 1
         else:
             latency = p.alpha + extra_latency
             cap = p.flow_cap(nbytes)
-            resources = (("tx", src_node), ("rx", dst_node), ("px", src_rank))
+            resources = self._src_pfx[src_rank] + (self._rx_key[dst_rank],)
             self.inter_node_bytes += nbytes
             self.inter_node_messages += 1
         flow = Flow(
@@ -212,7 +309,23 @@ class Fabric:
             done_cb, done_args,
         )
         flow.resources = resources
-        self.engine.schedule_after(latency, self._activate, flow)
+        if nbytes > 0:
+            # Coalesce same-instant activations into one engine event: a
+            # nonzero flow's activation is unobservable until the
+            # end-of-instant recompute, so a wave of P postings with equal
+            # arrival times needs one dispatch, not P.  Zero-byte flows
+            # complete (and run user callbacks) at activation, so they keep
+            # their own event to preserve intra-instant ordering.
+            engine = self.engine
+            when = engine.now + latency
+            batch = self._act_pending.get(when)
+            if batch is None:
+                self._act_pending[when] = batch = [flow]
+                engine.schedule_at(when, self._activate_batch, when)
+            else:
+                batch.append(flow)
+        else:
+            self.engine.schedule_after(latency, self._activate, flow)
 
     def snapshot_stats(self) -> dict:
         """Current transfer counters (bytes are cumulative since creation)."""
@@ -229,6 +342,32 @@ class Fabric:
 
     # -- internals --------------------------------------------------------------
 
+    def _activate_batch(self, when: float) -> None:
+        """Activate every nonzero flow that arrived at this exact instant."""
+        flows = self._act_pending.pop(when)
+        now = self.engine.now
+        flows_at = self._flows_at
+        dirty = self._dirty
+        for flow in flows:
+            flow.active = True
+            flow.start_time = now
+            flow.last_t = now
+            if flow.src_node != flow.dst_node:
+                if self._active_inter == 0:
+                    self._busy_since = now
+                self._active_inter += 1
+            fid = flow.fid
+            for key in flow.resources:
+                s = flows_at.get(key)
+                if s is None:
+                    flows_at[key] = {fid: flow}
+                else:
+                    s[fid] = flow
+                dirty[key] = None
+        if not self._armed:
+            self._armed = True
+            self.engine.at_instant_end(self._recompute)
+
     def _activate(self, flow: Flow) -> None:
         flow.active = True
         flow.start_time = self.engine.now
@@ -241,13 +380,18 @@ class Fabric:
             self._complete(flow)
             return
         flows_at = self._flows_at
+        fid = flow.fid
+        dirty = self._dirty  # _touch inlined: membership + dirty in one pass
         for key in flow.resources:
             s = flows_at.get(key)
             if s is None:
-                flows_at[key] = {flow}
+                flows_at[key] = {fid: flow}
             else:
-                s.add(flow)
-        self._touch(flow.resources)
+                s[fid] = flow
+            dirty[key] = None
+        if not self._armed:
+            self._armed = True
+            self.engine.at_instant_end(self._recompute)
 
     def _complete(self, flow: Flow) -> None:
         flow.active = False
@@ -256,12 +400,18 @@ class Fabric:
             self.engine.cancel(flow.timer)
             flow.timer = None
         flows_at = self._flows_at
+        fid = flow.fid
+        dirty = self._dirty  # _touch inlined, as in _activate
         for key in flow.resources:
             s = flows_at.get(key)
             if s is not None:
-                s.discard(flow)
+                s.pop(fid, None)
                 if not s:
                     del flows_at[key]  # prune: keep _refresh_rates O(active)
+            dirty[key] = None
+        if not self._armed:
+            self._armed = True
+            self.engine.at_instant_end(self._recompute)
         if flow.src_node != flow.dst_node:
             self._active_inter -= 1
             if self._active_inter == 0:
@@ -276,7 +426,6 @@ class Fabric:
                 nbytes=flow.nbytes,
             )
         flow.done_cb(*flow.done_args)
-        self._touch(flow.resources)
 
     def _touch(self, keys: tuple) -> None:
         """Mark resources dirty; coalesce into one end-of-instant recompute."""
@@ -292,10 +441,16 @@ class Fabric:
         self._armed = False
         keys = tuple(self._dirty)
         self._dirty.clear()
+        # Membership of exactly these keys changed this instant; drop their
+        # cached shares so _update re-divides them (others stay valid).
+        cache = self._share_cache
+        for key in keys:
+            cache.pop(key, None)
         self._update(keys)
 
     def _refresh_rates(self) -> None:
         """Recompute every active flow's rate (a degradation window edge)."""
+        self._share_cache.clear()  # bandwidth factors just changed
         keys = tuple(self._flows_at)  # empty sets are pruned eagerly
         if keys:
             self._update(keys)
@@ -304,42 +459,33 @@ class Fabric:
         """Recompute rates of every flow touching ``keys``; move completions."""
         now = self.engine.now
         flows_at = self._flows_at
-        affected: set[Flow] = set()
-        for key in keys:
-            s = flows_at.get(key)
-            if s:
-                affected |= s
-        if len(affected) > 1:  # single-flow updates dominate; skip the sort
-            affected = sorted(affected, key=_by_fid)
-        shares: dict = {}
+        if len(keys) == 1:
+            s = flows_at.get(keys[0])
+            merged = dict(s) if s else {}
+        else:
+            merged: dict[int, Flow] = {}
+            update = merged.update
+            for key in keys:
+                s = flows_at.get(key)
+                if s:
+                    update(s)
+        if len(merged) > 1:  # single-flow updates dominate; skip the sort
+            flows = [merged[fid] for fid in sorted(merged)]
+        else:
+            flows = merged.values()
+        shares = self._share_cache
         engine = self.engine
         maybe_done = self._maybe_done
-        params = self.params
-        faults = self.faults
-        for f in affected:
+        # Timer cancel/reschedule is inlined below (identical counter and
+        # heap semantics to Engine.cancel/schedule_at) — this loop runs
+        # without reentrancy, so no callback can observe the intermediate
+        # engine state.
+        heap = engine._heap
+        heappush = heapq.heappush
+        for f in flows:
             new_rate = f.cap
             for key in f.resources:
-                share = shares.get(key)
-                if share is None:
-                    # Equal share of the resource's capacity among the flows
-                    # currently bound to it (memoized for this recompute).
-                    fset = flows_at.get(key)
-                    if not fset:
-                        share = _INF
-                    else:
-                        kind = key[0]
-                        if kind == "shm":
-                            total = params.shm_bandwidth
-                        elif kind == "px":
-                            total = params.process_injection_bandwidth
-                        else:
-                            total = params.nic_bandwidth
-                            if faults is not None:
-                                total *= faults.bandwidth_factor(
-                                    kind, key[1], now
-                                )
-                        share = total / len(fset)
-                    shares[key] = share
+                share = shares[key]
                 if share < new_rate:
                     new_rate = share
             rate = f.rate
@@ -369,20 +515,34 @@ class Fabric:
                     # Rate dropped (or held): the earlier entry stays and
                     # hops to the new eta when it fires — no heap traffic.
                     continue
-                engine.cancel(t)  # superseded by an *earlier* completion
-            f.timer = engine.schedule_at(eta, maybe_done, f)
+                # Superseded by an *earlier* completion: inline cancel.  A
+                # flow's timer reference is cleared before any callback runs,
+                # so the entry here is always live.
+                t[2] = None
+                t[3] = ()
+                engine.events_cancelled += 1
+                nd = engine._ndead = engine._ndead + 1
+                if nd * 2 > len(heap) >= _COMPACT_MIN:
+                    engine._compact()
+            engine._seq = seq = engine._seq + 1
+            f.timer = entry = [eta, seq, maybe_done, (f,)]
+            heappush(heap, entry)
 
     def _maybe_done(self, flow: Flow) -> None:
         flow.timer = None
         if not flow.active:
             return
         eta = flow.eta
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         if now < eta:
             # Fired at a superseded (earlier) eta: hop to the exact current
-            # one.  eta is absolute, so no float drift accumulates.
+            # one.  eta is absolute, so no float drift accumulates.  The
+            # re-push is inlined (schedule_at semantics; eta > now here).
             if eta < _INF:
-                flow.timer = self.engine.schedule_at(eta, self._maybe_done, flow)
+                engine._seq = seq = engine._seq + 1
+                flow.timer = entry = [eta, seq, self._maybe_done, (flow,)]
+                heapq.heappush(engine._heap, entry)
             return
         # Settle and verify the bytes are indeed drained (guards float drift).
         flow.remaining -= flow.rate * (now - flow.last_t)
@@ -393,8 +553,3 @@ class Fabric:
             eta = now + flow.remaining / flow.rate if flow.rate > 0 else now
             flow.eta = eta
             flow.timer = self.engine.schedule_at(eta, self._maybe_done, flow)
-
-
-def _by_fid(flow: Flow) -> int:
-    """Deterministic iteration key for affected-flow sets (hash-seed-free)."""
-    return flow.fid

@@ -343,6 +343,7 @@ class Engine:
         pop = heapq.heappop
         flush = self._flush
         peak = self.peak_heap_size
+        nevents = 0  # batched into _nevents on exit (callbacks never read it)
         try:
             while True:
                 while heap:
@@ -368,7 +369,7 @@ class Engine:
                         peak = hl
                     pop(heap)
                     self.now = when
-                    self._nevents += 1
+                    nevents += 1
                     entry[2] = None  # mark fired; cancel() is now a no-op
                     fn(*entry[3])
                 if not flush:
@@ -377,6 +378,7 @@ class Engine:
                     cb()
                 del flush[:]
         finally:
+            self._nevents += nevents
             if peak > self.peak_heap_size:
                 self.peak_heap_size = peak
             self._flush_aggregate()

@@ -151,6 +151,71 @@ class TestPerfSimCore:
         assert "simulator cost:" in out.render()
 
 
+class TestGridProtocol:
+    """The sweep machinery behind ``run_experiment(..., jobs=N)``."""
+
+    def test_protocol_detection(self):
+        from repro.bench.harness import has_grid_protocol
+
+        assert has_grid_protocol(load_experiment("table2"))
+        assert has_grid_protocol(load_experiment("table1"))
+        assert not has_grid_protocol(load_experiment("secva"))
+
+    def test_point_seed_stable_and_distinct(self):
+        from repro.bench.harness import point_seed
+
+        assert point_seed("table2", 0) == point_seed("table2", 0)
+        seeds = {point_seed("table2", i) for i in range(16)}
+        assert len(seeds) == 16
+
+    def test_merge_point_stats_semantics(self):
+        from repro.bench.harness import _merge_point_stats
+
+        eng = [
+            {"events_processed": 10, "events_cancelled": 1,
+             "peak_heap_size": 5, "heap_compactions": 2},
+            {"events_processed": 20, "events_cancelled": 3,
+             "peak_heap_size": 9, "heap_compactions": 0},
+        ]
+        pc = [
+            {"hits": 6, "misses": 2, "evictions": 1, "entries": 2},
+            {"hits": 3, "misses": 1, "evictions": 0, "entries": 1},
+        ]
+        merged = _merge_point_stats(eng, pc)
+        assert merged["events_processed"] == 30
+        assert merged["events_cancelled"] == 4
+        assert merged["peak_heap_size"] == 9  # max, not sum
+        assert merged["heap_compactions"] == 2
+        assert merged["plan_cache"]["hits"] == 9
+        assert merged["plan_cache"]["misses"] == 3
+        assert merged["plan_cache"]["hit_rate"] == pytest.approx(0.75)
+
+    def test_run_grid_point_is_isolated_and_ordered(self):
+        from repro.bench.harness import _run_grid_point
+
+        mod = load_experiment("table2")
+        points = mod.grid(quick=True)
+        idx, result, eng_stats, pc_stats = _run_grid_point(
+            ("table2", 1, points[1], True)
+        )
+        assert idx == 1
+        assert result > 0
+        assert eng_stats["events_processed"] > 0
+        # Per-point isolation: the cache was cleared before the point ran,
+        # so every miss in the stats belongs to this point alone.
+        assert pc_stats["misses"] > 0
+        assert pc_stats["hits"] + pc_stats["misses"] > 0
+
+    def test_grid_order_matches_table_order(self):
+        mod = load_experiment("table2")
+        points = mod.grid(quick=True)
+        assert points == sorted(points, key=lambda pt: points.index(pt))
+        out = mod.assemble([float(i) for i in range(len(points))], quick=True)
+        assert [out.values[pt] for pt in points] == [
+            float(i) for i in range(len(points))
+        ]
+
+
 class TestAsciiRendering:
     def test_fig5_ascii(self, capsys):
         rc = main(["fig5", "--quick", "--ascii"])

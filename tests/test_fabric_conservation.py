@@ -34,7 +34,7 @@ class ProbeFabric(Fabric):
     def _update(self, keys):
         super()._update(keys)
         for flows in self._flows_at.values():
-            for f in flows:
+            for f in flows.values():
                 assert f.remaining >= -_EPS_BYTES, (
                     f"flow {f.fid} remaining {f.remaining} < -eps"
                 )

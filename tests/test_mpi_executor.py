@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.mpi.collectives.executor import ScheduleRunner
+from repro.mpi.collectives.plan import CollectivePlan
 from repro.mpi import World
 from repro.netmodel import NetworkParams, block_placement
 from repro.util import KIB, MIB
@@ -121,17 +122,43 @@ class TestProgressCosts:
         assert np.all(buf1 == 3.0)
         assert np.all(buf0 == 2.0)  # sender unchanged
 
-    def test_send_snapshots_buffer(self):
-        """Mutating the buffer after the send round must not corrupt data."""
+    def test_aliased_send_snapshots_buffer(self):
+        """A send overlapped by a same-round receive must ship a snapshot.
+
+        Full-buffer swap: each rank both sends and receives [0, n).  The
+        plan's may-alias bit forces a private copy, so whichever delivery
+        lands first cannot corrupt the other rank's in-flight payload.
+        """
         world = make_world_with()
         n = 1000
         buf0 = np.full(n, 7.0)
-        buf1 = np.zeros(n)
-        s0 = [[("send", 1, 0, n)]]
-        s1 = [[("copy", 0, 0, n)]]
+        buf1 = np.full(n, 1.0)
+        s0 = [[("send", 1, 0, n), ("copy", 1, 0, n)]]
+        s1 = [[("send", 0, 0, n), ("copy", 0, 0, n)]]
         r0 = ScheduleRunner(world, world.comm_world, 0, ("c", 0), s0, buf0, 8, False)
         r1 = ScheduleRunner(world, world.comm_world, 1, ("c", 0), s1, buf1, 8, False)
         r0.start(); r1.start()
-        buf0[:] = -1.0  # after posting, before delivery
         world.engine.run()
+        assert np.all(buf0 == 1.0)
         assert np.all(buf1 == 7.0)
+
+    def test_alias_free_send_is_zero_copy(self):
+        """Sends with no overlapping same/later-round receive pass a view."""
+        swap = CollectivePlan.from_schedule(
+            [[("send", 1, 0, 1000), ("copy", 1, 0, 1000)]], 8
+        )
+        assert [op[5] for op in swap.rounds[0]] == [True, False]
+        disjoint = CollectivePlan.from_schedule(
+            [[("send", 1, 0, 500), ("copy", 1, 500, 1000)]], 8
+        )
+        assert [op[5] for op in disjoint.rounds[0]] == [False, False]
+        # An earlier-round receive completed before the send posts: no copy.
+        earlier = CollectivePlan.from_schedule(
+            [[("copy", 1, 0, 1000)], [("send", 1, 0, 1000)]], 8
+        )
+        assert earlier.rounds[1][0][5] is False
+        # ...but a *later*-round receive does force the snapshot.
+        later = CollectivePlan.from_schedule(
+            [[("send", 1, 0, 1000)], [("copy", 1, 0, 1000)]], 8
+        )
+        assert later.rounds[0][0][5] is True

@@ -79,6 +79,55 @@ class TestPairing:
         validate_schedules(lambda me: barrier_dissemination(p, me), p, 0)
 
 
+class TestTinyMessages:
+    """Segment-splitting algorithms in the ``n < p`` regime.
+
+    When the element count is smaller than the process count (including the
+    extreme ``n == 1``), most ranks own an *empty* segment — every bound in
+    the recursive-halving / ring arithmetic degenerates.  These pin that the
+    generators stay pairable and deliver correct data there, across prime
+    (worst-case non-power-of-two) process counts.
+    """
+
+    PRIMES = (2, 3, 5, 7, 11, 13, 17, 19)
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_fewer_elements_than_ranks(self, p):
+        for n in sorted({0, 1, 2, p // 2, p - 1}):
+            validate_schedules(lambda me: allgather_ring(p, me, n), p, n)
+            validate_schedules(lambda me: allreduce_long(p, me, n), p, n)
+            for root in sorted({0, p // 2, p - 1}):
+                validate_schedules(
+                    lambda me: reduce_rabenseifner(p, root, me, n), p, n
+                )
+
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_single_element(self, p):
+        validate_schedules(lambda me: allgather_ring(p, me, 1), p, 1)
+        validate_schedules(lambda me: allreduce_long(p, me, 1), p, 1)
+        validate_schedules(lambda me: reduce_rabenseifner(p, p - 1, me, 1), p, 1)
+
+    @pytest.mark.parametrize("p", [3, 5, 7, 13])
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_tiny_long_message_data_correct(self, p, n):
+        """Force the long-message algorithms end-to-end with n < p."""
+        import numpy as np
+
+        from repro.mpi import World
+        from repro.netmodel import NetworkParams, block_placement
+
+        params = NetworkParams(long_message_threshold=0)
+        world = World(block_placement(p, 1), params=params)
+
+        def program(env):
+            comm = env.view(world.comm_world)
+            res = yield from comm.allreduce(np.full(n, float(comm.rank + 1)))
+            assert np.array_equal(res, np.full(n, p * (p + 1) / 2.0))
+
+        world.spawn_all(program, ranks=range(p))
+        world.run()
+
+
 class TestVolumes:
     """Total communicated volume matches the textbook algorithm costs."""
 
