@@ -29,22 +29,36 @@ from repro.util import Table
 
 N = SYSTEMS["1hsg_70"][0]
 CONFIGS = ((1, 4), (2, 5), (4, 6), (6, 7), (8, 8))  # (ppn, mesh side)
+NDUPS = (1, 4)
 
 
-def run(quick: bool = False) -> ExperimentOutput:
-    configs = ((1, 4), (2, 5), (4, 6)) if quick else CONFIGS
-    iterations = 1
+def _configs(quick: bool):
+    return ((1, 4), (2, 5), (4, 6)) if quick else CONFIGS
+
+
+def grid(quick: bool = False) -> list[tuple[int, int, int]]:
+    """One point per (ppn, mesh side, N_DUP) kernel run, in table order."""
+    return [(ppn, p, nd) for ppn, p in _configs(quick) for nd in NDUPS]
+
+
+def run_point(point: tuple[int, int, int], quick: bool = False) -> float:
+    ppn, p, nd = point
+    r = run_ssc(p, N, "optimized", n_dup=nd, ppn=ppn, iterations=1)
+    return r.tflops
+
+
+def assemble(results: list[float], quick: bool = False) -> ExperimentOutput:
+    configs = _configs(quick)
     t = Table(
         ["PPN", "Process mesh", "Total nodes", "N_DUP=1 (TF)", "N_DUP=4 (TF)"],
         title="Table III: optimized SymmSquareCube vs PPN (1hsg_70)",
     )
-    values: dict = {}
+    by_point = dict(zip(grid(quick), results))
+    values = {(ppn, nd): by_point[(ppn, p, nd)]
+              for ppn, p in configs for nd in NDUPS}
     for ppn, p in configs:
-        r1 = run_ssc(p, N, "optimized", n_dup=1, ppn=ppn, iterations=iterations)
-        r4 = run_ssc(p, N, "optimized", n_dup=4, ppn=ppn, iterations=iterations)
-        values[(ppn, 1)] = r1.tflops
-        values[(ppn, 4)] = r4.tflops
-        t.add_row([ppn, f"{p}x{p}x{p}", math.ceil(p**3 / ppn), r1.tflops, r4.tflops])
+        t.add_row([ppn, f"{p}x{p}x{p}", math.ceil(p**3 / ppn),
+                   values[(ppn, 1)], values[(ppn, 4)]])
     best = max(values[(ppn, 4)] for ppn, _ in configs)
     baseline = values[(configs[0][0], 1)]
     notes = (
@@ -52,6 +66,10 @@ def run(quick: bool = False) -> ExperimentOutput:
         f"than the non-overlapped single-PPN baseline (paper: 91.2%)."
     )
     return ExperimentOutput(name="table3", tables=[t], values=values, notes=notes)
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    return assemble([run_point(pt, quick=quick) for pt in grid(quick)], quick=quick)
 
 
 def check(output: ExperimentOutput) -> None:

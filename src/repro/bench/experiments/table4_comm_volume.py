@@ -41,48 +41,62 @@ N = SYSTEMS["1hsg_70"][0]
 CONFIGS = ((1, 4), (2, 5), (4, 6), (6, 7), (8, 8))  # (ppn, mesh side)
 
 
-def run(quick: bool = False) -> ExperimentOutput:
-    configs = ((1, 4), (4, 6), (8, 8)) if quick else CONFIGS
+def _configs(quick: bool):
+    return ((1, 4), (4, 6), (8, 8)) if quick else CONFIGS
+
+
+def grid(quick: bool = False) -> list[tuple[int, int]]:
+    """One point per (ppn, mesh side) table row."""
+    return list(_configs(quick))
+
+
+def run_point(point: tuple[int, int], quick: bool = False) -> dict:
+    """Micro-benchmark bandwidths + one baseline kernel run for one row."""
+    ppn, p = point
     params = NetworkParams()
+    block_bytes = block_dim(0, N, p) ** 2 * 8
+    case = "blocking" if ppn == 1 else "ppn"
+    bw_reduce = collective_bandwidth("reduce", case, block_bytes, n_dup=max(ppn, 1)).bandwidth
+    bw_bcast = collective_bandwidth("bcast", case, block_bytes, n_dup=max(ppn, 1)).bandwidth
+    # Estimated time: the paper's recipe — per-op long-message volumes
+    # over micro-benchmark bandwidths (3 broadcasts, 2 reductions, 2
+    # point-to-point block transfers).
+    vol_op = collective_volume_long_message(block_bytes, p)
+    est = (
+        3 * vol_op / bw_bcast
+        + 2 * vol_op / bw_reduce
+        + 2 * t_point_to_point(block_bytes, params.alpha, params.beta())
+    )
+    r = run_ssc(p, N, "baseline", ppn=ppn, iterations=1)
+    stats = r.world.fabric.snapshot_stats()
+    nodes = math.ceil(p**3 / ppn)
+    vol_node = stats["inter_node_bytes"] / nodes
+    # Actual communication time the way the paper reports it: kernel
+    # elapsed minus the two local multiplications (whose per-process
+    # rate already accounts for node sharing).
+    machine = MachineParams()
+    block = block_dim(0, N, p)
+    mm_time = 2 * (2.0 * block**3) / machine.process_flops(ppn)
+    return {
+        "volume_per_node": vol_node,
+        "bw_reduce": bw_reduce,
+        "bw_bcast": bw_bcast,
+        "est_time": est,
+        "actual_time": r.elapsed - mm_time,
+    }
+
+
+def assemble(results: list[dict], quick: bool = False) -> ExperimentOutput:
     t = Table(
         ["PPN", "volume/node (MB)", "Reduce BW (GB/s)", "Bcast BW (GB/s)",
          "est. time (s)", "actual inter-node time (s)"],
         title="Table IV: baseline SymmSquareCube inter-node communication vs PPN",
     )
     values: dict = {}
-    for ppn, p in configs:
-        block_bytes = block_dim(0, N, p) ** 2 * 8
-        case = "blocking" if ppn == 1 else "ppn"
-        bw_reduce = collective_bandwidth("reduce", case, block_bytes, n_dup=max(ppn, 1)).bandwidth
-        bw_bcast = collective_bandwidth("bcast", case, block_bytes, n_dup=max(ppn, 1)).bandwidth
-        # Estimated time: the paper's recipe — per-op long-message volumes
-        # over micro-benchmark bandwidths (3 broadcasts, 2 reductions, 2
-        # point-to-point block transfers).
-        vol_op = collective_volume_long_message(block_bytes, p)
-        est = (
-            3 * vol_op / bw_bcast
-            + 2 * vol_op / bw_reduce
-            + 2 * t_point_to_point(block_bytes, params.alpha, params.beta())
-        )
-        r = run_ssc(p, N, "baseline", ppn=ppn, iterations=1)
-        stats = r.world.fabric.snapshot_stats()
-        nodes = math.ceil(p**3 / ppn)
-        vol_node = stats["inter_node_bytes"] / nodes
-        # Actual communication time the way the paper reports it: kernel
-        # elapsed minus the two local multiplications (whose per-process
-        # rate already accounts for node sharing).
-        machine = MachineParams()
-        block = block_dim(0, N, p)
-        mm_time = 2 * (2.0 * block**3) / machine.process_flops(ppn)
-        actual = r.elapsed - mm_time
-        values[ppn] = {
-            "volume_per_node": vol_node,
-            "bw_reduce": bw_reduce,
-            "bw_bcast": bw_bcast,
-            "est_time": est,
-            "actual_time": actual,
-        }
-        t.add_row([ppn, vol_node / MB, bw_reduce / GB, bw_bcast / GB, est, actual])
+    for (ppn, _p), row in zip(grid(quick), results):
+        values[ppn] = row
+        t.add_row([ppn, row["volume_per_node"] / MB, row["bw_reduce"] / GB,
+                   row["bw_bcast"] / GB, row["est_time"], row["actual_time"]])
     return ExperimentOutput(
         name="table4",
         tables=[t],
@@ -94,6 +108,10 @@ def run(quick: bool = False) -> ExperimentOutput:
             "argument for multiple-PPN overlap."
         ),
     )
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    return assemble([run_point(pt, quick=quick) for pt in grid(quick)], quick=quick)
 
 
 def check(output: ExperimentOutput) -> None:

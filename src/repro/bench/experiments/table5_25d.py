@@ -43,19 +43,35 @@ CONFIGS = (  # (ppn, q, c) in the paper's row order
 QUICK_CONFIGS = ((2, 8, 2), (1, 4, 4), (4, 6, 6))
 
 
-def run(quick: bool = False) -> ExperimentOutput:
-    configs = QUICK_CONFIGS if quick else CONFIGS
+NDUPS = (1, 4)
+
+
+def _configs(quick: bool):
+    return QUICK_CONFIGS if quick else CONFIGS
+
+
+def grid(quick: bool = False) -> list[tuple[int, int, int, int]]:
+    """One point per (ppn, q, c, N_DUP) kernel run, in table row order."""
+    return [(ppn, q, c, nd) for ppn, q, c in _configs(quick) for nd in NDUPS]
+
+
+def run_point(point: tuple[int, int, int, int], quick: bool = False) -> float:
+    ppn, q, c, nd = point
+    r = run_ssc25d(q, c, N, n_dup=nd, ppn=ppn, iterations=1)
+    return r.tflops
+
+
+def assemble(results: list[float], quick: bool = False) -> ExperimentOutput:
     t = Table(
         ["PPN", "Mesh", "Total nodes", "N_DUP=1 (TF)", "N_DUP=4 (TF)"],
         title="Table V: 2.5D SymmSquareCube configurations (1hsg_70)",
     )
+    by_point = dict(zip(grid(quick), results))
     values: dict = {}
-    for ppn, q, c in configs:
-        ranks = q * q * c
-        r1 = run_ssc25d(q, c, N, n_dup=1, ppn=ppn, iterations=1)
-        r4 = run_ssc25d(q, c, N, n_dup=4, ppn=ppn, iterations=1)
-        values[(ppn, q, c)] = (r1.tflops, r4.tflops)
-        t.add_row([ppn, f"{q}x{q}x{c}", math.ceil(ranks / ppn), r1.tflops, r4.tflops])
+    for ppn, q, c in _configs(quick):
+        t1, t4 = by_point[(ppn, q, c, 1)], by_point[(ppn, q, c, 4)]
+        values[(ppn, q, c)] = (t1, t4)
+        t.add_row([ppn, f"{q}x{q}x{c}", math.ceil(q * q * c / ppn), t1, t4])
     return ExperimentOutput(
         name="table5",
         tables=[t],
@@ -66,6 +82,10 @@ def run(quick: bool = False) -> ExperimentOutput:
             "PPN perform best overall."
         ),
     )
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    return assemble([run_point(pt, quick=quick) for pt in grid(quick)], quick=quick)
 
 
 def check(output: ExperimentOutput) -> None:

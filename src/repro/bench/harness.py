@@ -81,6 +81,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "ablation_verify",
         "runtime-verifier overhead: simulated time unchanged, wall cost only",
     ),
+    "ablation-autotune": (
+        "ablation_autotune",
+        "repro.tune autotuned configuration vs the paper defaults",
+    ),
     "perf_sim_core": (
         "perf_sim_core",
         "simulator-core microbenchmark vs the committed perf baseline",
@@ -157,6 +161,7 @@ def _isolate_point(name: str, idx: int) -> None:
     from repro.sim.engine import Engine
 
     shared_plans.clear()
+    shared_plans.reset()
     Engine.reset_aggregate_stats()
     np.random.seed(point_seed(name, idx))
 
@@ -238,6 +243,7 @@ def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> ExperimentO
         return out
     Engine.reset_aggregate_stats()
     shared_plans.clear()
+    shared_plans.reset()
     out = mod.run(quick=quick)
     if not out.sim_stats:
         out.sim_stats = Engine.aggregate_stats()

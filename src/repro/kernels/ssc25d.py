@@ -30,6 +30,8 @@ from repro.mpi.requests import waitall
 from repro.mpi.world import RankEnv, World
 from repro.kernels.symmsquarecube import ssc_flops
 from repro.netmodel import MachineParams, NetworkParams, block_placement
+from repro.sim.engine import DeadlineExceeded
+from repro.tune.validity import validate_ssc25d_config
 from repro.util import check_positive
 
 
@@ -148,6 +150,7 @@ class SSC25DResult:
     n: int
     world: World
     mesh: Mesh3D
+    tuning: "TuningRecord | None" = None  # decision trace when run with tune=  # noqa: F821
 
     @property
     def elapsed(self) -> float:
@@ -170,13 +173,36 @@ def run_ssc25d(
     params: NetworkParams | None = None,
     machine: MachineParams | None = None,
     verify: bool = False,
+    tune: str | None = None,
+    tune_db=None,
+    deadline: float | None = None,
 ) -> SSC25DResult:
-    """Run Algorithm 6 on a fresh ``q x q x c`` world (cf. :func:`run_ssc`)."""
-    check_positive("q", q)
-    check_positive("c", c)
+    """Run Algorithm 6 on a fresh ``q x q x c`` world (cf. :func:`run_ssc`).
+
+    ``tune`` / ``tune_db`` / ``deadline`` mirror :func:`repro.kernels.run_ssc`:
+    the tuner may move to any ``q' x q' x c'`` factorization with the same
+    rank count and picks ``N_DUP``, PPN and the collective schedule; the
+    record lands on ``SSC25DResult.tuning``.
+    """
     check_positive("iterations", iterations)
-    if q % c != 0:
-        raise ValueError(f"2.5D requires c | q, got q={q}, c={c}")
+    validate_ssc25d_config(q, c, n, n_dup, ppn=max(ppn, 1))
+    if tune is not None:
+        from repro.tune.candidates import apply_collective
+        from repro.tune.tuner import Tuner
+
+        tuner = Tuner(db=tune_db, policy=tune)
+        record = tuner.autotune_ssc25d(q, c, n, ppn=ppn, params=params,
+                                       machine=machine)
+        best = record.best
+        bq, _bq, bc = best.mesh
+        eff = apply_collective(params or NetworkParams(), best.collective)
+        result = run_ssc25d(
+            bq, bc, n, d, n_dup=best.n_dup, ppn=best.ppn,
+            iterations=iterations, params=eff, machine=machine, verify=verify,
+            deadline=deadline,
+        )
+        result.tuning = record
+        return result
     real = d is not None
     if real and not np.allclose(d, d.T):
         raise ValueError("SymmSquareCube requires a symmetric input matrix")
@@ -202,7 +228,12 @@ def run_ssc25d(
         return (times, result)
 
     world.spawn_all(program, ranks=range(q * q * c))
-    world.run()
+    world.run(until=deadline)
+    if deadline is not None and world.unfinished():
+        raise DeadlineExceeded(
+            f"run_ssc25d(q={q}, c={c}, n={n}) exceeded deadline "
+            f"{deadline:.6g}s: {len(world.unfinished())} rank program(s) unfinished"
+        )
     outs = world.results()
     iter_times = [
         max(outs[r][0][it] for r in range(q * q * c)) for it in range(iterations)

@@ -40,8 +40,10 @@ from repro.mpi.requests import waitall
 from repro.mpi.world import RankEnv, World
 from repro.netmodel import MachineParams, NetworkParams, block_placement
 from repro.netmodel.topology import round_robin_placement
+from repro.sim.engine import DeadlineExceeded
 from repro.sim.faults import FaultPlan
 from repro.sim.trace import SpanKind
+from repro.tune.validity import check_placement, validate_ssc_config
 from repro.util import check_positive
 
 _TAG_D2 = 21
@@ -473,6 +475,7 @@ class SSCResult:
     world: World
     mesh: Mesh3D
     fallbacks: int = 0             # iterations that degraded to the blocking baseline
+    tuning: "TuningRecord | None" = None  # decision trace when run with tune=  # noqa: F821
 
     @property
     def elapsed(self) -> float:
@@ -500,6 +503,9 @@ def run_ssc(
     trace: bool = False,
     faults: FaultPlan | None = None,
     verify: bool = False,
+    tune: str | None = None,
+    tune_db=None,
+    deadline: float | None = None,
 ) -> SSCResult:
     """Run ``iterations`` SymmSquareCube calls on a fresh ``p^3`` world.
 
@@ -522,13 +528,39 @@ def run_ssc(
     throttled link, and the blocking schedule is the safer citizen.  Fallen
     back iterations are counted in ``SSCResult.fallbacks`` and recorded in
     the trace as ``fallback:blocking`` MISC spans.
+
+    ``tune`` hands configuration choice to :mod:`repro.tune`: a
+    :class:`~repro.tune.tuner.TuningPolicy` string (``"auto"``,
+    ``"model-only"``, ``"exhaustive"``, ``"db-only"``) selects the search;
+    the tuner picks algorithm variant, ``N_DUP``, PPN and collective
+    schedule for this workload (overriding the corresponding arguments),
+    and the decision trace is attached as ``SSCResult.tuning``.  ``tune_db``
+    is an optional :class:`~repro.tune.db.TuningDB` for warm starts.
+
+    ``deadline`` bounds the simulation at that virtual time and raises
+    :class:`~repro.sim.engine.DeadlineExceeded` if the kernel has not
+    finished — the tuner's early-termination hook.
     """
-    check_positive("p", p)
     check_positive("iterations", iterations)
-    if algorithm not in _ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; pick from {sorted(_ALGORITHMS)}")
-    if algorithm != "optimized" and n_dup != 1:
-        raise ValueError("n_dup > 1 requires the optimized algorithm")
+    check_placement(placement)
+    validate_ssc_config(p, n, algorithm, n_dup, ppn=max(ppn, 1))
+    if tune is not None:
+        from repro.tune.candidates import apply_collective
+        from repro.tune.tuner import Tuner
+
+        tuner = Tuner(db=tune_db, policy=tune)
+        record = tuner.autotune_ssc(p, n, ppn=ppn, placement=placement,
+                                    params=params, machine=machine)
+        best = record.best
+        eff = apply_collective(params or NetworkParams(), best.collective)
+        result = run_ssc(
+            p, n, best.algorithm, d, n_dup=best.n_dup, ppn=best.ppn,
+            iterations=iterations, params=eff, machine=machine,
+            placement=placement, trace=trace, faults=faults, verify=verify,
+            deadline=deadline,
+        )
+        result.tuning = record
+        return result
     real = d is not None
     if real and not np.allclose(d, d.T):
         raise ValueError("SymmSquareCube requires a symmetric input matrix")
@@ -536,10 +568,8 @@ def run_ssc(
     ppn = max(ppn, 1)
     if placement == "block":
         cluster = block_placement(ranks, ppn)
-    elif placement == "round_robin":
+    else:  # "round_robin" — check_placement already rejected anything else
         cluster = round_robin_placement(ranks, -(-ranks // ppn))
-    else:
-        raise ValueError(f"placement must be 'block' or 'round_robin', got {placement!r}")
     world = World(cluster, params=params, machine=machine, trace=trace,
                   faults=faults, verify=verify)
     mesh = Mesh3D(world, p, n_dup=max(n_dup, 1))
@@ -577,7 +607,12 @@ def run_ssc(
         return (times, result, fallbacks)
 
     world.spawn_all(program, ranks=range(p**3))
-    world.run()
+    world.run(until=deadline)
+    if deadline is not None and world.unfinished():
+        raise DeadlineExceeded(
+            f"run_ssc(p={p}, n={n}, {algorithm!r}) exceeded deadline "
+            f"{deadline:.6g}s: {len(world.unfinished())} rank program(s) unfinished"
+        )
     outs = world.results()
     iter_times = [
         max(outs[r][0][it] for r in range(p**3)) for it in range(iterations)

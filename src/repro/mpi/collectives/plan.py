@@ -210,8 +210,17 @@ class PlanCache:
         return key in self._plans
 
     def clear(self) -> None:
-        """Drop every plan and zero the counters (per-experiment isolation)."""
+        """Drop every cached plan.  Counters are **not** touched.
+
+        The hit/miss/eviction counters are read-only cumulative statistics;
+        dropping entries (to free memory or to force cold rebuilds) must not
+        rewrite history.  Call :meth:`reset` to zero the counters explicitly
+        (the bench harness does both between isolated grid points).
+        """
         self._plans.clear()
+
+    def reset(self) -> None:
+        """Zero the cumulative hit/miss/eviction counters (entries stay)."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -149,6 +149,15 @@ class World:
                 self.verifier.finalize(self)
         return t
 
+    def unfinished(self) -> list[str]:
+        """Names of spawned programs that have not finished.
+
+        Non-empty after a bounded ``run(until=...)`` means the deadline cut
+        the simulation short (callers such as the autotuner turn this into
+        :class:`~repro.sim.engine.DeadlineExceeded`).
+        """
+        return [p.name for p in self._procs if not p.done.fired]
+
     def results(self) -> list:
         """Return values of all spawned programs, in spawn order."""
         return [p.done.value for p in self._procs]

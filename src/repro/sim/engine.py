@@ -54,6 +54,15 @@ class SimulationError(RuntimeError):
     """Raised when a simulated process fails or the engine detects misuse."""
 
 
+class DeadlineExceeded(SimulationError):
+    """Raised when a bounded run (``run(until=...)``) left work unfinished.
+
+    The autotuner uses this for early termination: a candidate configuration
+    is simulated with the incumbent's finishing time as the deadline, and a
+    run that cannot beat it is abandoned instead of simulated to completion.
+    """
+
+
 class Timer:
     """Handle for one scheduled callback; supports :meth:`cancel`.
 

@@ -1,0 +1,88 @@
+"""repro.tune — autotuning: pick N_DUP, PPN, 2.5D replication and variant.
+
+The paper fixes its configuration knobs by hand-run sweeps (Tables II-V:
+``N_DUP = 4``, PPN per machine, 2.5D ``c`` per node count).  This subsystem
+automates that choice per workload:
+
+* :mod:`~repro.tune.signature` — the :class:`WorkloadSignature` keying every
+  decision (kernel, n, mesh, ranks, PPN, placement, fabric-constant hash);
+* :mod:`~repro.tune.validity` — the configuration rules shared with the
+  kernels, so invalid candidates never reach the simulator;
+* :mod:`~repro.tune.candidates` — the valid-configuration generator;
+* :mod:`~repro.tune.search` — the two-stage search: analytic alpha-beta
+  models prune, the discrete-event simulator scores the shortlist exactly,
+  with incumbent-deadline early termination;
+* :mod:`~repro.tune.db` — the persistent, versioned, byte-deterministic
+  tuning database with warm-start lookup;
+* :mod:`~repro.tune.tuner` — the policy front-end (``"auto"`` /
+  ``"model-only"`` / ``"exhaustive"`` / ``"db-only"``) behind
+  ``run_ssc(..., tune="auto")`` and ``python -m repro.tune``.
+
+This ``__init__`` imports only the kernel-free layers eagerly; the
+:class:`Tuner` and the search (which import the kernels) load lazily, so the
+kernels themselves can depend on :mod:`repro.tune.validity` without a cycle.
+"""
+
+from repro.tune.candidates import (
+    Candidate,
+    apply_collective,
+    enumerate_candidates,
+    n_dup_choices,
+    paper_default_candidate,
+)
+from repro.tune.db import (
+    DB_SCHEMA,
+    TraceEntry,
+    TuningDB,
+    TuningRecord,
+)
+from repro.tune.signature import (
+    WorkloadSignature,
+    fabric_hash,
+    signature_for_ssc,
+    signature_for_ssc25d,
+)
+from repro.tune.validity import (
+    min_block_elems,
+    validate_ssc25d_config,
+    validate_ssc_config,
+)
+
+#: Names resolved lazily (PEP 562) because their modules import the kernels.
+_LAZY = {
+    "Tuner": "repro.tune.tuner",
+    "TuningPolicy": "repro.tune.tuner",
+    "TUNING_POLICIES": "repro.tune.tuner",
+    "check_policy": "repro.tune.tuner",
+    "search": "repro.tune.search",
+    "model_time": "repro.tune.search",
+    "simulate_candidate": "repro.tune.search",
+    "SearchOutcome": "repro.tune.search",
+}
+
+__all__ = [
+    # signature
+    "WorkloadSignature", "fabric_hash", "signature_for_ssc",
+    "signature_for_ssc25d",
+    # validity
+    "min_block_elems", "validate_ssc_config", "validate_ssc25d_config",
+    # candidates
+    "Candidate", "enumerate_candidates", "paper_default_candidate",
+    "apply_collective", "n_dup_choices",
+    # db
+    "TuningDB", "TuningRecord", "TraceEntry", "DB_SCHEMA",
+    # lazy: tuner + search
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    """Resolve the tuner/search layer on first touch (kernel-import cycle)."""
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.tune' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value
+    return value

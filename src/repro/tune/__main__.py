@@ -1,0 +1,5 @@
+"""``python -m repro.tune`` — see :mod:`repro.tune.cli`."""
+
+from repro.tune.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""Candidate configurations and their generator.
+
+A :class:`Candidate` is one fully-specified way to run a kernel for a given
+:class:`~repro.tune.signature.WorkloadSignature`: the algorithm variant,
+the ``N_DUP`` duplicated-communicator count, the processes-per-node, the
+mesh shape (the 2.5D replication factor ``c`` rides in here), and the
+collective-algorithm override.  The generator enumerates every *valid*
+combination — validity is delegated to :mod:`repro.tune.validity`, the same
+rules the kernels enforce, so an invalid candidate can never reach the
+simulator.
+
+Knob vocabulary
+---------------
+``N_DUP``
+    Drawn from the divisors of :data:`PARTS_BUDGET` (24), capped at
+    :data:`MAX_N_DUP` — the paper sweeps 1-6 and settles on 4.
+``ppn``
+    :data:`PPN_CHOICES`, capped by the machine's cores per node (the total
+    rank count is fixed by the signature; more PPN = fewer nodes).
+``mesh``
+    Fixed at ``(p, p, p)`` for the 3D kernel; for the 2.5D kernel every
+    ``q x q x c`` factorization of the signature's rank count with ``c | q``
+    is a candidate (the replication-factor axis of Algorithm 6).
+``collective``
+    ``"auto"`` keeps the library's size-based algorithm selection;
+    ``"binomial"`` / ``"long"`` force the short-message binomial or the
+    long-message (scatter-allgather / Rabenseifner / ring) schedules for
+    every collective, via the ``long_message_threshold`` knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netmodel.params import MachineParams, NetworkParams
+from repro.tune.signature import WorkloadSignature
+from repro.tune.validity import (
+    SSC_ALGORITHMS,
+    validate_ssc25d_config,
+    validate_ssc_config,
+)
+
+#: N_DUP candidates are the divisors of this pipeline-parts budget ...
+PARTS_BUDGET = 24
+#: ... capped here (the paper's sweep tops out at 6; 8 covers the plateau).
+MAX_N_DUP = 8
+#: Processes-per-node candidates (Table III's sweep).
+PPN_CHOICES = (1, 2, 4, 6, 8)
+#: Collective-algorithm override choices.
+COLLECTIVE_CHOICES = ("auto", "binomial", "long")
+
+#: A threshold above every realistic message forces binomial schedules ...
+_FORCE_BINOMIAL_THRESHOLD = 2 ** 62
+#: ... and zero forces the long-message schedules (p <= 2 stays binomial).
+_FORCE_LONG_THRESHOLD = 0
+
+
+def divisors(m: int) -> tuple[int, ...]:
+    """The positive divisors of ``m``, ascending."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    return tuple(d for d in range(1, m + 1) if m % d == 0)
+
+
+def n_dup_choices(cap: int = MAX_N_DUP) -> tuple[int, ...]:
+    """Valid N_DUP values: divisors of :data:`PARTS_BUDGET` up to ``cap``."""
+    return tuple(d for d in divisors(PARTS_BUDGET) if d <= cap)
+
+
+def apply_collective(params: NetworkParams, collective: str) -> NetworkParams:
+    """Return ``params`` with the candidate's collective override applied."""
+    if collective == "auto":
+        return params
+    if collective == "binomial":
+        return params.replace(long_message_threshold=_FORCE_BINOMIAL_THRESHOLD)
+    if collective == "long":
+        return params.replace(long_message_threshold=_FORCE_LONG_THRESHOLD)
+    raise ValueError(
+        f"unknown collective override {collective!r}; "
+        f"pick from {sorted(COLLECTIVE_CHOICES)}"
+    )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully-specified kernel configuration."""
+
+    kernel: str                   #: "ssc" or "ssc25d"
+    algorithm: str                #: SSC variant, or "ssc25d" for Alg. 6
+    mesh: tuple[int, int, int]    #: (pi, pj, pk); pk is the 2.5D ``c``
+    n_dup: int
+    ppn: int
+    collective: str = "auto"
+
+    @property
+    def key(self) -> str:
+        """Stable short id used in decision traces and tables."""
+        pi, pj, pk = self.mesh
+        return (
+            f"{self.algorithm}:m{pi}x{pj}x{pk}:nd{self.n_dup}"
+            f":ppn{self.ppn}:{self.collective}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "kernel": self.kernel,
+            "algorithm": self.algorithm,
+            "mesh": list(self.mesh),
+            "n_dup": self.n_dup,
+            "ppn": self.ppn,
+            "collective": self.collective,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Candidate":
+        return cls(
+            kernel=d["kernel"], algorithm=d["algorithm"],
+            mesh=tuple(int(x) for x in d["mesh"]), n_dup=int(d["n_dup"]),
+            ppn=int(d["ppn"]), collective=d.get("collective", "auto"),
+        )
+
+    def validate(self, n: int) -> None:
+        """Re-check this candidate against the kernel validity rules."""
+        pi, _pj, pk = self.mesh
+        if self.kernel == "ssc":
+            validate_ssc_config(pi, n, self.algorithm, self.n_dup, self.ppn)
+        elif self.kernel == "ssc25d":
+            validate_ssc25d_config(pi, pk, n, self.n_dup, self.ppn)
+        else:
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+
+
+def _ppn_choices(machine: MachineParams | None) -> tuple[int, ...]:
+    cores = (machine or MachineParams()).cores_per_node
+    return tuple(p for p in PPN_CHOICES if p <= cores)
+
+
+def meshes_25d(ranks: int) -> tuple[tuple[int, int, int], ...]:
+    """Every valid ``q x q x c`` factorization of ``ranks`` with ``c | q``."""
+    out = []
+    q = 1
+    while q * q <= ranks:
+        if ranks % (q * q) == 0:
+            c = ranks // (q * q)
+            if c <= q and q % c == 0:
+                out.append((q, q, c))
+        q += 1
+    return tuple(sorted(out))
+
+
+def enumerate_candidates(
+    sig: WorkloadSignature,
+    machine: MachineParams | None = None,
+    collectives: tuple[str, ...] = COLLECTIVE_CHOICES,
+) -> list[Candidate]:
+    """All valid candidates for ``sig``, deterministically ordered.
+
+    Invalid combinations (non-dividing ``N_DUP``/``c``, pipeline on a
+    non-optimized variant, ...) are filtered with the exact kernel rules;
+    the order is a pure function of the signature so searches (and their
+    early-termination decisions) replay bit-for-bit.
+    """
+    cands: list[Candidate] = []
+    if sig.kernel == "ssc":
+        p = sig.mesh[0]
+        for algorithm in SSC_ALGORITHMS:
+            ndups = n_dup_choices() if algorithm == "optimized" else (1,)
+            for n_dup in ndups:
+                for ppn in _ppn_choices(machine):
+                    for collective in collectives:
+                        try:
+                            validate_ssc_config(p, sig.n, algorithm, n_dup, ppn)
+                        except ValueError:
+                            continue
+                        cands.append(Candidate(
+                            kernel="ssc", algorithm=algorithm,
+                            mesh=(p, p, p), n_dup=n_dup, ppn=ppn,
+                            collective=collective,
+                        ))
+    elif sig.kernel == "ssc25d":
+        for mesh in meshes_25d(sig.ranks):
+            q, _q, c = mesh
+            for n_dup in n_dup_choices():
+                for ppn in _ppn_choices(machine):
+                    for collective in collectives:
+                        try:
+                            validate_ssc25d_config(q, c, sig.n, n_dup, ppn)
+                        except ValueError:
+                            continue
+                        cands.append(Candidate(
+                            kernel="ssc25d", algorithm="ssc25d", mesh=mesh,
+                            n_dup=n_dup, ppn=ppn, collective=collective,
+                        ))
+    else:  # pragma: no cover - signature already validates the kernel id
+        raise ValueError(f"unknown kernel {sig.kernel!r}")
+    cands.sort(key=lambda cand: cand.key)
+    return cands
+
+
+def paper_default_candidate(sig: WorkloadSignature) -> Candidate:
+    """The paper's default configuration for ``sig`` — the tuning baseline.
+
+    3D kernel: Algorithm 5 with ``N_DUP = 4`` ("the results justify our
+    choice of using N_DUP = 4") at the signature's requested PPN; 2.5D:
+    the requested mesh with ``N_DUP = 1``.  ``N_DUP`` is clamped by the
+    validity rules for tiny blocks.
+    """
+    from repro.tune.validity import min_block_elems
+
+    if sig.kernel == "ssc":
+        p = sig.mesh[0]
+        n_dup = min(4, min_block_elems(sig.n, p))
+        return Candidate(kernel="ssc", algorithm="optimized",
+                         mesh=(p, p, p), n_dup=n_dup, ppn=sig.ppn)
+    return Candidate(kernel="ssc25d", algorithm="ssc25d", mesh=sig.mesh,
+                     n_dup=1, ppn=sig.ppn)

@@ -1,0 +1,136 @@
+"""Command-line entry point: ``python -m repro.tune``.
+
+Examples::
+
+    python -m repro.tune search ssc --p 2 --n 512 --db tune_db.json
+    python -m repro.tune search ssc25d --q 4 --c 2 --n 512 --policy exhaustive
+    python -m repro.tune show --db tune_db.json
+    python -m repro.tune show --db tune_db.json --key 'ssc:n512:...' --trace
+    python -m repro.tune export --db tune_db.json --output /tmp/copy.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _fmt_time(t: float | None) -> str:
+    return "-" if t is None else f"{t:.6f}s"
+
+
+def _print_record(record, trace: bool = False) -> None:
+    print(f"signature : {record.signature.key}")
+    print(f"policy    : {record.policy}   seed: {record.seed}   "
+          f"simulations: {record.simulations}")
+    print(f"best      : {record.best.key}   time: {_fmt_time(record.best_time)}")
+    print(f"default   : {record.default.key}   "
+          f"time: {_fmt_time(record.default_time)}")
+    speedup = record.speedup_vs_default
+    if speedup is not None:
+        print(f"speedup   : {speedup:.3f}x vs paper default")
+    if trace:
+        print("trace     :")
+        for entry in record.trace:
+            sim = _fmt_time(entry.sim_time)
+            print(f"  {entry.status:<15} model={entry.model_time:.6f}s "
+                  f"sim={sim:<11} {entry.candidate.key}")
+
+
+def _cmd_search(args) -> int:
+    from repro.tune.db import TuningDB
+    from repro.tune.tuner import Tuner
+
+    db = TuningDB(path=args.db)
+    tuner = Tuner(db=db, policy=args.policy, seed=args.seed)
+    if args.kernel == "ssc":
+        if args.p is None:
+            print("search ssc requires --p", file=sys.stderr)
+            return 2
+        record = tuner.autotune_ssc(args.p, args.n, ppn=args.ppn)
+    else:
+        if args.q is None or args.c is None:
+            print("search ssc25d requires --q and --c", file=sys.stderr)
+            return 2
+        record = tuner.autotune_ssc25d(args.q, args.c, args.n, ppn=args.ppn)
+    _print_record(record, trace=args.trace)
+    if args.db:
+        db.save()
+        print(f"saved {len(db)} record(s) to {args.db}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from repro.tune.db import TuningDB
+
+    db = TuningDB(path=args.db)
+    if args.key:
+        try:
+            record = db.get(args.key)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        _print_record(record, trace=args.trace)
+        return 0
+    if not len(db):
+        print(f"{args.db}: empty tuning database")
+        return 0
+    for key in db.keys():
+        record = db.get(key)
+        speedup = record.speedup_vs_default
+        extra = f"  ({speedup:.3f}x vs default)" if speedup else ""
+        print(f"{key}\n  -> {record.best.key}  "
+              f"{_fmt_time(record.best_time)}{extra}")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.tune.db import TuningDB
+
+    db = TuningDB(path=args.db)
+    target = db.save(args.output)
+    print(f"exported {len(db)} record(s) to {target}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Autotune SymmSquareCube configurations "
+                    "(N_DUP, PPN, 2.5D replication, algorithm variant).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_search = sub.add_parser("search", help="run a tuning search")
+    p_search.add_argument("kernel", choices=("ssc", "ssc25d"))
+    p_search.add_argument("--n", type=int, required=True, help="matrix dimension")
+    p_search.add_argument("--p", type=int, default=None, help="3D mesh side (ssc)")
+    p_search.add_argument("--q", type=int, default=None, help="2.5D layer side")
+    p_search.add_argument("--c", type=int, default=None, help="2.5D replication")
+    p_search.add_argument("--ppn", type=int, default=1, help="requested PPN")
+    p_search.add_argument("--policy", default="auto",
+                          choices=("auto", "model-only", "exhaustive", "db-only"))
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--db", default=None, metavar="FILE",
+                          help="tuning database to warm-start from and save to")
+    p_search.add_argument("--trace", action="store_true",
+                          help="print the full decision trace")
+    p_search.set_defaults(fn=_cmd_search)
+
+    p_show = sub.add_parser("show", help="inspect a tuning database")
+    p_show.add_argument("--db", required=True, metavar="FILE")
+    p_show.add_argument("--key", default=None, help="one record (default: all)")
+    p_show.add_argument("--trace", action="store_true")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_export = sub.add_parser("export", help="re-serialize a database")
+    p_export.add_argument("--db", required=True, metavar="FILE")
+    p_export.add_argument("--output", required=True, metavar="FILE")
+    p_export.set_defaults(fn=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,218 @@
+"""The persistent tuning database — versioned, bounded, byte-deterministic.
+
+A :class:`TuningRecord` is the full outcome of one tuning search: the
+signature, the seed and policy, the complete decision trace (every
+candidate with its model estimate, its simulated time or the reason it was
+never simulated), the chosen configuration and the paper-default it was
+measured against.  Records carry **no wall-clock timestamps** — a
+monotonically increasing ``generation`` counter orders them instead, so a
+search replayed with the same inputs produces byte-identical records.
+
+A :class:`TuningDB` maps signature keys to records.  It is bounded
+(:data:`DEFAULT_MAX_RECORDS`, oldest ``generation`` evicted first) and
+serializes to schema-versioned JSON with records sorted by key, so the
+on-disk bytes are a pure function of the logical content.  Loading a file
+with a different :data:`DB_SCHEMA` raises — stale formats never silently
+warm-start a search.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.tune.candidates import Candidate
+from repro.tune.signature import WorkloadSignature
+
+#: On-disk schema version; bump on any record/key format change.
+DB_SCHEMA = 1
+
+#: Default record bound of a :class:`TuningDB`.
+DEFAULT_MAX_RECORDS = 256
+
+#: ``status`` vocabulary of decision-trace entries.
+TRACE_STATUSES = ("simulated", "pruned-model", "pruned-deadline", "model-only")
+
+
+@dataclass
+class TraceEntry:
+    """One candidate's fate during a search."""
+
+    candidate: Candidate
+    model_time: float                 #: stage-1 analytic estimate [s]
+    sim_time: float | None = None     #: stage-2 simulated kernel time [s]
+    status: str = "pruned-model"      #: one of :data:`TRACE_STATUSES`
+
+    def as_dict(self) -> dict:
+        return {
+            "candidate": self.candidate.as_dict(),
+            "model_time": self.model_time,
+            "sim_time": self.sim_time,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceEntry":
+        return cls(
+            candidate=Candidate.from_dict(d["candidate"]),
+            model_time=d["model_time"], sim_time=d.get("sim_time"),
+            status=d.get("status", "simulated"),
+        )
+
+
+@dataclass
+class TuningRecord:
+    """Outcome of one tuning search for one workload signature."""
+
+    signature: WorkloadSignature
+    policy: str
+    seed: int
+    best: Candidate
+    best_time: float | None           #: simulated (or modeled) time of ``best``
+    default: Candidate                #: the paper-default configuration
+    default_time: float | None
+    trace: list[TraceEntry] = field(default_factory=list)
+    simulations: int = 0              #: simulator invocations this search made
+    generation: int = 0               #: db insertion order (no wall clock)
+    schema: int = DB_SCHEMA
+
+    @property
+    def speedup_vs_default(self) -> float | None:
+        """``default_time / best_time`` when both were measured."""
+        if not self.best_time or not self.default_time:
+            return None
+        return self.default_time / self.best_time
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "signature": self.signature.as_dict(),
+            "policy": self.policy,
+            "seed": self.seed,
+            "best": self.best.as_dict(),
+            "best_time": self.best_time,
+            "default": self.default.as_dict(),
+            "default_time": self.default_time,
+            "speedup_vs_default": self.speedup_vs_default,
+            "trace": [t.as_dict() for t in self.trace],
+            "simulations": self.simulations,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TuningRecord":
+        return cls(
+            signature=WorkloadSignature.from_dict(d["signature"]),
+            policy=d["policy"], seed=int(d["seed"]),
+            best=Candidate.from_dict(d["best"]), best_time=d.get("best_time"),
+            default=Candidate.from_dict(d["default"]),
+            default_time=d.get("default_time"),
+            trace=[TraceEntry.from_dict(t) for t in d.get("trace", [])],
+            simulations=int(d.get("simulations", 0)),
+            generation=int(d.get("generation", 0)),
+            schema=int(d.get("schema", DB_SCHEMA)),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization (sorted keys, fixed separators).
+
+        Two searches with the same signature, seed and policy must produce
+        identical bytes — the determinism tests compare exactly this.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+
+
+class TuningDB:
+    """Bounded, deterministic signature-key -> :class:`TuningRecord` store."""
+
+    def __init__(self, path: str | pathlib.Path | None = None,
+                 max_records: int = DEFAULT_MAX_RECORDS):
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.path = pathlib.Path(path) if path is not None else None
+        self.max_records = max_records
+        self._records: dict[str, TuningRecord] = {}
+        self._next_generation = 0
+        if self.path is not None and self.path.is_file():
+            self._load(self.path)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def keys(self) -> list[str]:
+        """All record keys, sorted (the db's deterministic order)."""
+        return sorted(self._records)
+
+    def lookup(self, sig: WorkloadSignature) -> TuningRecord | None:
+        """The stored record for ``sig``, or ``None`` (warm-start probe)."""
+        return self._records.get(sig.key)
+
+    def get(self, key: str) -> TuningRecord:
+        """Record stored under ``key``; raises ``KeyError`` with the knowns."""
+        try:
+            return self._records[key]
+        except KeyError:
+            raise KeyError(
+                f"no tuning record for {key!r}; known keys: {self.keys()}"
+            ) from None
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, record: TuningRecord) -> TuningRecord:
+        """Store ``record`` (stamping its generation), evicting the oldest.
+
+        Re-inserting a signature replaces its record in place (the new
+        record still receives a fresh generation, making it the youngest).
+        """
+        record.generation = self._next_generation
+        self._next_generation += 1
+        self._records[record.signature.key] = record
+        while len(self._records) > self.max_records:
+            oldest = min(self._records, key=lambda k: self._records[k].generation)
+            del self._records[oldest]
+        return record
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._next_generation = 0
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Schema-versioned JSON with records sorted by key (stable bytes)."""
+        doc = {
+            "schema": DB_SCHEMA,
+            "next_generation": self._next_generation,
+            "records": [self._records[k].as_dict() for k in self.keys()],
+        }
+        return json.dumps(doc, sort_keys=True, indent=1) + "\n"
+
+    def save(self, path: str | pathlib.Path | None = None) -> pathlib.Path:
+        """Write the db; defaults to the path it was constructed with."""
+        target = pathlib.Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("TuningDB has no path; pass save(path=...)")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json())
+        return target
+
+    def _load(self, path: pathlib.Path) -> None:
+        doc = json.loads(path.read_text())
+        schema = doc.get("schema")
+        if schema != DB_SCHEMA:
+            raise ValueError(
+                f"tuning db {path} has schema {schema!r}, expected {DB_SCHEMA}; "
+                f"delete or re-export it"
+            )
+        self._records = {}
+        for rd in doc.get("records", []):
+            rec = TuningRecord.from_dict(rd)
+            self._records[rec.signature.key] = rec
+        self._next_generation = int(doc.get("next_generation", len(self._records)))

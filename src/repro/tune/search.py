@@ -1,0 +1,182 @@
+"""The two-stage candidate search: analytic pruning, then exact simulation.
+
+Stage 1 scores every valid candidate with the closed-form alpha-beta models
+(:func:`repro.netmodel.analytic.estimate_ssc_time` /
+:func:`~repro.netmodel.analytic.estimate_ssc25d_time`) — microseconds per
+candidate — and keeps a shortlist.  Stage 2 replays the shortlist through
+the discrete-event simulator, which prices everything the closed forms
+cannot (link sharing, pipeline bubbles, barrier skew), with **early
+termination**: each run carries the incumbent's finishing time as a
+``deadline``, so a candidate that cannot win is abandoned the moment the
+virtual clock proves it (:class:`~repro.sim.engine.DeadlineExceeded`).
+
+The paper-default configuration is always simulated first, without a
+deadline, to seed the incumbent.  Every later candidate either finishes
+no later than the incumbent or is pruned — which is why a tuned
+configuration can never be slower than the paper default *by construction*,
+not merely by measurement.
+
+Everything here is deterministic: candidate order is a pure function of the
+signature, deadlines are virtual times, and the only randomness — seeded
+subsampling when the candidate space exceeds ``max_candidates`` — comes
+from an explicit ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.kernels.ssc25d import run_ssc25d
+from repro.kernels.symmsquarecube import run_ssc
+from repro.netmodel.analytic import estimate_ssc25d_time, estimate_ssc_time
+from repro.netmodel.params import MachineParams, NetworkParams
+from repro.sim.engine import DeadlineExceeded
+from repro.tune.candidates import Candidate, apply_collective
+from repro.tune.db import TraceEntry
+from repro.tune.signature import WorkloadSignature
+
+#: Stage-2 shortlist size (stage 1 keeps this many model-best candidates).
+DEFAULT_SHORTLIST = 4
+
+#: Hard cap on candidates scored by the model; beyond it the generator's
+#: output is subsampled deterministically with the search seed.
+DEFAULT_MAX_CANDIDATES = 128
+
+#: Virtual-time slack multiplier on the incumbent deadline.  Exactly 1.0
+#: would prune candidates that tie the incumbent to the last event; a hair
+#: of slack lets ties finish and lose on the measured time instead.
+DEADLINE_SLACK = 1.0 + 1e-9
+
+
+def model_time(sig: WorkloadSignature, cand: Candidate,
+               params: NetworkParams | None = None,
+               machine: MachineParams | None = None) -> float:
+    """Stage-1 analytic estimate [s] of ``cand`` on ``sig``'s workload."""
+    if cand.kernel == "ssc":
+        return estimate_ssc_time(
+            sig.n, cand.mesh[0], cand.algorithm, cand.n_dup, cand.ppn,
+            collective=cand.collective, params=params, machine=machine,
+        )
+    q, _q, c = cand.mesh
+    return estimate_ssc25d_time(
+        sig.n, q, c, cand.n_dup, cand.ppn,
+        collective=cand.collective, params=params, machine=machine,
+    )
+
+
+def simulate_candidate(sig: WorkloadSignature, cand: Candidate,
+                       params: NetworkParams | None = None,
+                       machine: MachineParams | None = None,
+                       deadline: float | None = None) -> tuple[float, float]:
+    """Stage-2 exact score: one simulated kernel call of ``cand``.
+
+    Returns ``(kernel_time, world_time)`` — the per-call kernel time (the
+    comparison metric) and the world's final virtual time (the next
+    incumbent deadline, inclusive of barriers and warm-up).  Raises
+    :class:`DeadlineExceeded` when ``deadline`` cuts the run short.
+    """
+    eff = apply_collective(params or NetworkParams(), cand.collective)
+    if cand.kernel == "ssc":
+        res = run_ssc(
+            cand.mesh[0], sig.n, cand.algorithm, n_dup=cand.n_dup,
+            ppn=cand.ppn, params=eff, machine=machine,
+            placement=sig.placement, deadline=deadline,
+        )
+    else:
+        q, _q, c = cand.mesh
+        res = run_ssc25d(
+            q, c, sig.n, n_dup=cand.n_dup, ppn=cand.ppn, params=eff,
+            machine=machine, deadline=deadline,
+        )
+    return res.elapsed, res.world.engine.now
+
+
+@dataclass
+class SearchOutcome:
+    """What a search pass hands back to the :class:`~repro.tune.tuner.Tuner`."""
+
+    best: TraceEntry
+    default: TraceEntry
+    trace: list[TraceEntry] = field(default_factory=list)
+    simulations: int = 0
+
+
+def _sample(cands: list[Candidate], limit: int, seed: int) -> list[Candidate]:
+    """Deterministically subsample ``cands`` to ``limit`` (order preserved)."""
+    if len(cands) <= limit:
+        return cands
+    rng = random.Random(seed)
+    picked = set(rng.sample(range(len(cands)), limit))
+    return [c for idx, c in enumerate(cands) if idx in picked]
+
+
+def search(sig: WorkloadSignature, candidates: list[Candidate],
+           default: Candidate, *,
+           params: NetworkParams | None = None,
+           machine: MachineParams | None = None,
+           shortlist: int = DEFAULT_SHORTLIST,
+           max_candidates: int = DEFAULT_MAX_CANDIDATES,
+           seed: int = 0,
+           model_only: bool = False,
+           exhaustive: bool = False) -> SearchOutcome:
+    """Run the two-stage search over ``candidates`` for ``sig``.
+
+    ``model_only`` stops after stage 1 (no simulator runs); ``exhaustive``
+    skips the shortlist and simulates every candidate (early termination
+    still applies).  The paper ``default`` is always scored — simulated
+    first, deadline-free — so the returned best is never worse than it.
+    """
+    pool = _sample(candidates, max_candidates, seed)
+    if default not in pool:
+        pool = [default] + pool
+
+    entries = {c.key: TraceEntry(candidate=c, model_time=model_time(
+        sig, c, params, machine)) for c in pool}
+
+    if model_only:
+        for e in entries.values():
+            e.status = "model-only"
+        order = sorted(entries.values(),
+                       key=lambda e: (e.model_time, e.candidate.key))
+        best = order[0]
+        return SearchOutcome(best=best, default=entries[default.key],
+                             trace=list(entries.values()))
+
+    if exhaustive:
+        short = list(entries.values())
+    else:
+        ranked = sorted(entries.values(),
+                        key=lambda e: (e.model_time, e.candidate.key))
+        short = ranked[:shortlist]
+    # The default seeds the incumbent: put it first, simulate it without a
+    # deadline, and never let pruning touch it.
+    short = [entries[default.key]] + [e for e in short
+                                      if e.candidate.key != default.key]
+
+    simulations = 0
+    incumbent: TraceEntry | None = None
+    incumbent_world = None
+    for entry in short:
+        deadline = (None if incumbent_world is None
+                    else incumbent_world * DEADLINE_SLACK)
+        try:
+            kernel_time, world_time = simulate_candidate(
+                sig, entry.candidate, params, machine, deadline=deadline)
+        except DeadlineExceeded:
+            entry.status = "pruned-deadline"
+            simulations += 1
+            continue
+        simulations += 1
+        entry.sim_time = kernel_time
+        entry.status = "simulated"
+        if (incumbent is None or kernel_time < incumbent.sim_time
+                or (kernel_time == incumbent.sim_time
+                    and entry.candidate.key < incumbent.candidate.key)):
+            incumbent = entry
+        if incumbent_world is None or world_time < incumbent_world:
+            incumbent_world = world_time
+
+    trace = sorted(entries.values(), key=lambda e: e.candidate.key)
+    return SearchOutcome(best=incumbent, default=entries[default.key],
+                         trace=trace, simulations=simulations)

@@ -1,0 +1,125 @@
+"""Workload signatures — the keys of every tuning decision.
+
+A :class:`WorkloadSignature` pins down everything the best configuration of
+a kernel can depend on: the kernel id, the matrix dimension, the process
+mesh and rank count, the requested processes-per-node budget, the placement
+policy, and a short stable hash of the fabric constants
+(:class:`~repro.netmodel.params.NetworkParams` +
+:class:`~repro.netmodel.params.MachineParams`).  Two calls with the same
+signature may share a tuning record; any change to the fabric constants
+changes the hash and therefore invalidates warm starts automatically.
+
+Signatures are plain frozen dataclasses with a canonical string ``key`` —
+the tuning database is keyed on that string, so its format is part of the
+db schema (bump :data:`repro.tune.db.DB_SCHEMA` when changing it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.netmodel.params import MachineParams, NetworkParams
+
+#: Length of the truncated fabric-hash hex digest embedded in keys.
+FABRIC_HASH_LEN = 12
+
+
+def fabric_hash(params: NetworkParams | None,
+                machine: MachineParams | None) -> str:
+    """Short stable hash of the network + machine constants.
+
+    Field values are serialized in sorted-key JSON (floats via ``repr`` are
+    deterministic in Python 3), then SHA-256'd and truncated — enough to
+    detect any perturbed constant while keeping db keys readable.
+    """
+    payload = {
+        "network": dataclasses.asdict(params or NetworkParams()),
+        "machine": dataclasses.asdict(machine or MachineParams()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:FABRIC_HASH_LEN]
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """Immutable description of one tunable workload."""
+
+    kernel: str          #: "ssc" (Algs. 3-5) or "ssc25d" (Alg. 6)
+    n: int               #: matrix dimension
+    ranks: int           #: total process count (fixed by the caller)
+    mesh: tuple[int, int, int]  #: requested mesh shape (pi, pj, pk)
+    ppn: int             #: requested processes-per-node (the paper default)
+    placement: str       #: "block" or "round_robin"
+    fabric: str          #: :func:`fabric_hash` of the fabric constants
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("ssc", "ssc25d"):
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.n < 1 or self.ranks < 1 or self.ppn < 1:
+            raise ValueError("n, ranks and ppn must all be >= 1")
+        pi, pj, pk = self.mesh
+        if pi * pj * pk != self.ranks:
+            raise ValueError(
+                f"mesh {pi}x{pj}x{pk} does not match {self.ranks} ranks"
+            )
+
+    @property
+    def key(self) -> str:
+        """Canonical db key, e.g. ``ssc:n7645:r64:m4x4x4:ppn1:block:ab12...``."""
+        pi, pj, pk = self.mesh
+        return (
+            f"{self.kernel}:n{self.n}:r{self.ranks}:m{pi}x{pj}x{pk}"
+            f":ppn{self.ppn}:{self.placement}:{self.fabric}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (mesh as a list, plus the key)."""
+        return {
+            "kernel": self.kernel,
+            "n": self.n,
+            "ranks": self.ranks,
+            "mesh": list(self.mesh),
+            "ppn": self.ppn,
+            "placement": self.placement,
+            "fabric": self.fabric,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSignature":
+        return cls(
+            kernel=d["kernel"], n=int(d["n"]), ranks=int(d["ranks"]),
+            mesh=tuple(int(x) for x in d["mesh"]), ppn=int(d["ppn"]),
+            placement=d["placement"], fabric=d["fabric"],
+        )
+
+
+def signature_for_ssc(p: int, n: int, *, ppn: int = 1,
+                      placement: str = "block",
+                      params: NetworkParams | None = None,
+                      machine: MachineParams | None = None) -> WorkloadSignature:
+    """Signature of a :func:`repro.kernels.run_ssc` workload (``p^3`` ranks)."""
+    return WorkloadSignature(
+        kernel="ssc", n=n, ranks=p ** 3, mesh=(p, p, p), ppn=max(ppn, 1),
+        placement=placement, fabric=fabric_hash(params, machine),
+    )
+
+
+def signature_for_ssc25d(q: int, c: int, n: int, *, ppn: int = 1,
+                         params: NetworkParams | None = None,
+                         machine: MachineParams | None = None,
+                         ) -> WorkloadSignature:
+    """Signature of a :func:`repro.kernels.run_ssc25d` workload (``q^2 c`` ranks).
+
+    The mesh records the *requested* ``(q, q, c)``; the tuner may still move
+    to any other factorization with the same rank count (that freedom is a
+    candidate axis, not a signature axis).
+    """
+    return WorkloadSignature(
+        kernel="ssc25d", n=n, ranks=q * q * c, mesh=(q, q, c),
+        ppn=max(ppn, 1), placement="block",
+        fabric=fabric_hash(params, machine),
+    )

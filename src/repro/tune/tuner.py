@@ -1,0 +1,141 @@
+"""The tuner front-end: policies, warm starts, and the kernel entry points.
+
+A :class:`Tuner` binds a :class:`~repro.tune.db.TuningDB` (possibly
+ephemeral) to a :class:`TuningPolicy` and exposes one method per kernel.
+The kernels call these through ``run_ssc(..., tune="auto")`` /
+``run_ssc25d(..., tune="auto")``; the CLI (``python -m repro.tune``) and the
+``ablation-autotune`` bench experiment call them directly.
+
+Policies
+--------
+``"auto"``
+    Warm-start from the db when the signature is already recorded;
+    otherwise run the two-stage search and record the result.
+``"model-only"``
+    Rank candidates with the analytic models alone — no simulator runs.
+    Cheap, and the right tool inside model-calibration sweeps.
+``"exhaustive"``
+    Simulate *every* valid candidate (early termination still prunes
+    hopeless runs).  The ground-truth policy the tests compare against.
+``"db-only"``
+    Never search: return the recorded decision or raise ``KeyError``.
+    For production-style runs that must not pay search cost.
+"""
+
+from __future__ import annotations
+
+from repro.netmodel.params import MachineParams, NetworkParams
+from repro.tune.candidates import enumerate_candidates, paper_default_candidate
+from repro.tune.db import TuningDB, TuningRecord
+from repro.tune.search import (
+    DEFAULT_MAX_CANDIDATES,
+    DEFAULT_SHORTLIST,
+    SearchOutcome,
+    search,
+)
+from repro.tune.signature import (
+    WorkloadSignature,
+    signature_for_ssc,
+    signature_for_ssc25d,
+)
+
+#: The policy vocabulary (see module docstring).
+TUNING_POLICIES = ("auto", "model-only", "exhaustive", "db-only")
+
+#: Alias used in signatures/docs; policies are plain strings from
+#: :data:`TUNING_POLICIES`.
+TuningPolicy = str
+
+
+def check_policy(policy: str) -> None:
+    """``policy`` must be one of :data:`TUNING_POLICIES`."""
+    if policy not in TUNING_POLICIES:
+        raise ValueError(
+            f"unknown tuning policy {policy!r}; pick from {sorted(TUNING_POLICIES)}"
+        )
+
+
+class Tuner:
+    """Policy-driven configuration search with a persistent warm-start db."""
+
+    def __init__(self, db: TuningDB | None = None,
+                 policy: TuningPolicy = "auto", *,
+                 shortlist: int = DEFAULT_SHORTLIST,
+                 max_candidates: int = DEFAULT_MAX_CANDIDATES,
+                 seed: int = 0):
+        check_policy(policy)
+        self.db = db if db is not None else TuningDB()
+        self.policy = policy
+        self.shortlist = shortlist
+        self.max_candidates = max_candidates
+        self.seed = seed
+        #: Simulator invocations across this tuner's lifetime (warm starts
+        #: add zero — the warm-start tests assert exactly that).
+        self.simulations = 0
+
+    # -- kernel entry points ---------------------------------------------------
+
+    def autotune_ssc(self, p: int, n: int, *, ppn: int = 1,
+                     placement: str = "block",
+                     params: NetworkParams | None = None,
+                     machine: MachineParams | None = None) -> TuningRecord:
+        """Best configuration for a :func:`repro.kernels.run_ssc` workload."""
+        sig = signature_for_ssc(p, n, ppn=ppn, placement=placement,
+                                params=params, machine=machine)
+        return self.tune(sig, params=params, machine=machine)
+
+    def autotune_ssc25d(self, q: int, c: int, n: int, *, ppn: int = 1,
+                        params: NetworkParams | None = None,
+                        machine: MachineParams | None = None) -> TuningRecord:
+        """Best configuration for a :func:`repro.kernels.run_ssc25d` workload."""
+        sig = signature_for_ssc25d(q, c, n, ppn=ppn, params=params,
+                                   machine=machine)
+        return self.tune(sig, params=params, machine=machine)
+
+    # -- core ------------------------------------------------------------------
+
+    def tune(self, sig: WorkloadSignature, *,
+             params: NetworkParams | None = None,
+             machine: MachineParams | None = None) -> TuningRecord:
+        """Resolve ``sig`` to a :class:`TuningRecord` under this policy."""
+        if self.policy in ("auto", "db-only"):
+            hit = self.db.lookup(sig)
+            if hit is not None:
+                return hit
+            if self.policy == "db-only":
+                raise KeyError(
+                    f"tuning policy 'db-only' found no record for {sig.key!r}; "
+                    f"run a search first (policy 'auto' or the CLI) or point "
+                    f"tune_db at a populated database"
+                )
+        outcome = self._search(sig, params=params, machine=machine)
+        record = self._record(sig, outcome)
+        self.db.insert(record)
+        return record
+
+    def _search(self, sig: WorkloadSignature, *,
+                params: NetworkParams | None,
+                machine: MachineParams | None) -> SearchOutcome:
+        candidates = enumerate_candidates(sig, machine=machine)
+        default = paper_default_candidate(sig)
+        outcome = search(
+            sig, candidates, default, params=params, machine=machine,
+            shortlist=self.shortlist, max_candidates=self.max_candidates,
+            seed=self.seed, model_only=(self.policy == "model-only"),
+            exhaustive=(self.policy == "exhaustive"),
+        )
+        self.simulations += outcome.simulations
+        return outcome
+
+    def _record(self, sig: WorkloadSignature,
+                outcome: SearchOutcome) -> TuningRecord:
+        best, default = outcome.best, outcome.default
+        best_time = best.sim_time if best.sim_time is not None else best.model_time
+        default_time = (default.sim_time if default.sim_time is not None
+                        else default.model_time)
+        return TuningRecord(
+            signature=sig, policy=self.policy, seed=self.seed,
+            best=best.candidate, best_time=best_time,
+            default=default.candidate, default_time=default_time,
+            trace=outcome.trace, simulations=outcome.simulations,
+        )

@@ -1,0 +1,118 @@
+"""Configuration validity rules shared by the kernels and the tuner.
+
+These used to live inline in :func:`repro.kernels.run_ssc` /
+:func:`repro.kernels.run_ssc25d`; the candidate generator needs the exact
+same rules (an invalid candidate must never reach the simulator), so they
+are factored out here.  This module deliberately imports nothing from
+:mod:`repro.kernels` — the kernels import *it*, the rest of
+:mod:`repro.tune` layers on top.
+
+Every check raises :class:`ValueError` with an actionable message naming
+the offending knob and the rule it broke.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.plan import block_partition
+
+#: The SymmSquareCube algorithm variants (paper Algorithms 3, 4, 5).
+SSC_ALGORITHMS = ("original", "baseline", "optimized")
+
+#: Placement policies understood by :func:`repro.kernels.run_ssc`.
+PLACEMENTS = ("block", "round_robin")
+
+
+def min_block_elems(n: int, p: int) -> int:
+    """Element count of the smallest ``p x p`` block of an ``n x n`` matrix.
+
+    The tightest buffer any SymmSquareCube collective pipelines: ``N_DUP``
+    must not exceed it, or pipeline parts would be empty messages.
+    """
+    dims, _ranges = block_partition(n, p)
+    smallest = min(dims)
+    return smallest * smallest
+
+
+def check_ssc_algorithm(algorithm: str) -> None:
+    """``algorithm`` must name one of the paper's three SSC variants."""
+    if algorithm not in SSC_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; pick from {sorted(SSC_ALGORITHMS)}"
+        )
+
+
+def check_placement(placement: str) -> None:
+    """``placement`` must be a known rank-to-node map."""
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"placement must be 'block' or 'round_robin', got {placement!r}"
+        )
+
+
+def validate_ssc_config(p: int, n: int, algorithm: str, n_dup: int,
+                        ppn: int) -> None:
+    """Validity rules for one SymmSquareCube (Algs. 3-5) configuration.
+
+    * ``p``, ``n``, ``ppn`` positive;
+    * ``algorithm`` one of :data:`SSC_ALGORITHMS`;
+    * ``n_dup >= 1``, and ``n_dup > 1`` only with the optimized algorithm
+      (Algorithms 3-4 have no duplicated-communicator pipeline);
+    * ``n_dup`` no larger than the smallest communicated block
+      (:func:`min_block_elems`) — larger values would split a block into
+      empty pipeline parts.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if ppn < 1:
+        raise ValueError(f"ppn must be >= 1, got {ppn}")
+    check_ssc_algorithm(algorithm)
+    if n_dup < 1:
+        raise ValueError(f"N_DUP must be >= 1, got {n_dup}")
+    if n_dup > 1 and algorithm != "optimized":
+        raise ValueError(
+            f"N_DUP={n_dup} requires the optimized algorithm (Alg. 5); "
+            f"{algorithm!r} has no duplicated-communicator pipeline"
+        )
+    limit = min_block_elems(n, p)
+    if n_dup > limit:
+        raise ValueError(
+            f"N_DUP={n_dup} exceeds the smallest communicated block of "
+            f"{limit} element(s) for n={n}, p={p}; pipeline parts would be "
+            f"empty messages"
+        )
+
+
+def validate_ssc25d_config(q: int, c: int, n: int, n_dup: int,
+                           ppn: int) -> None:
+    """Validity rules for one 2.5D SymmSquareCube (Alg. 6) configuration.
+
+    * ``q``, ``c``, ``n``, ``ppn`` positive;
+    * the replication factor must divide the layer side: ``c | q`` (the
+      algorithm runs ``s = q/c`` Cannon steps per layer);
+    * ``n_dup >= 1`` and no larger than the smallest replicated block
+      (Alg. 6 overlaps each grid collective with itself in ``N_DUP`` parts).
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if c < 1:
+        raise ValueError(f"c must be >= 1, got {c}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if ppn < 1:
+        raise ValueError(f"ppn must be >= 1, got {ppn}")
+    if q % c != 0:
+        raise ValueError(
+            f"2.5D requires the replication factor to divide the mesh side "
+            f"(c | q), got q={q}, c={c}"
+        )
+    if n_dup < 1:
+        raise ValueError(f"N_DUP must be >= 1, got {n_dup}")
+    limit = min_block_elems(n, q)
+    if n_dup > limit:
+        raise ValueError(
+            f"N_DUP={n_dup} exceeds the smallest replicated block of "
+            f"{limit} element(s) for n={n}, q={q}; pipeline parts would be "
+            f"empty messages"
+        )

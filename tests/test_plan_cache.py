@@ -167,16 +167,34 @@ class TestPlanCache:
             "hit_rate": 0.0,
         }
 
-    def test_clear_resets_counters_and_entries(self):
+    def test_clear_drops_entries_but_keeps_counters(self):
         cache = PlanCache()
         cache.get("barrier", 8, 0)
         cache.get("barrier", 8, 0)
         cache.clear()
         assert len(cache) == 0
+        # Counters are cumulative history; clear() must not rewrite it.
         assert cache.stats() == {
-            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+            "hits": 1, "misses": 1, "evictions": 0, "entries": 0,
+            "hit_rate": 0.5,
+        }
+        # The dropped plan rebuilds as a fresh miss.
+        cache.get("barrier", 8, 0)
+        assert cache.stats()["misses"] == 2
+
+    def test_reset_zeroes_counters_but_keeps_entries(self):
+        cache = PlanCache()
+        cache.get("barrier", 8, 0)
+        cache.get("barrier", 8, 0)
+        cache.reset()
+        assert len(cache) == 1
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 1,
             "hit_rate": 0.0,
         }
+        # The retained plan still serves hits after the counter reset.
+        cache.get("barrier", 8, 0)
+        assert cache.stats()["hits"] == 1
 
     def test_bad_maxsize_rejected(self):
         with pytest.raises(ValueError):

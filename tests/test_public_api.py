@@ -10,7 +10,7 @@ import repro
 SUBPACKAGES = [
     "repro.sim", "repro.netmodel", "repro.mpi", "repro.mpi.collectives",
     "repro.dense", "repro.kernels", "repro.purify", "repro.solvers",
-    "repro.particles", "repro.bench", "repro.util",
+    "repro.particles", "repro.bench", "repro.util", "repro.tune",
 ]
 
 
