@@ -50,6 +50,15 @@ Metrics per workload:
     eviction/entry counters are exact and gated against the baseline like
     the engine counters; warm lookups/sec is informative only.
 
+``replay``
+    The event-graph replay stage (:mod:`repro.sim.replay`): record the
+    tuner's shortlist for the quick Table I workload once, then re-score it
+    under a sweep of perturbed fabric constants both ways — full simulation
+    vs graph replay.  The scores must match **bit for bit** (gated, and the
+    score list itself is pinned in the baseline), the graph/counter values
+    are exact, and the in-run wall ratio (machine speed cancels) must reach
+    :data:`REPLAY_SPEEDUP_TARGET`.
+
 Run ``python -m repro.bench perf_sim_core --check`` to compare against the
 committed baseline; see ``docs/perf.md`` for how to regenerate it.
 """
@@ -80,6 +89,19 @@ WORKLOADS: dict[str, tuple[int, int, int, int, int, int, int]] = {
 SPEEDUP_TARGET = 2.0
 #: CI regression tolerance on (machine-normalized) events/sec.
 EPS_TOLERANCE = 0.20
+
+#: Replay acceptance criterion: re-scoring the tuner's recorded shortlist
+#: by graph replay must beat full simulation by at least this wall-time
+#: ratio (measured in-run, so machine speed cancels exactly).
+REPLAY_SPEEDUP_TARGET = 3.0
+#: Fabric-constant perturbations for the replay sweep, ``(field, scale)``.
+#: Every field is in :data:`repro.sim.replay.REPLAY_SAFE_FIELDS` — the
+#: sweep exercises the replayer's validity envelope, not its fallback.
+REPLAY_SWEEP = (
+    ("alpha", 1.25), ("alpha", 1.5), ("alpha", 0.75),
+    ("nic_bandwidth", 0.5), ("nic_bandwidth", 0.8),
+    ("shm_bandwidth", 0.5),
+)
 
 
 def run_storm(nodes: int, ppn: int, wave: int, waves: int, nbytes: int,
@@ -192,6 +214,95 @@ def run_plan_cache_bench() -> dict:
     return stats
 
 
+def run_replay_bench(quick: bool) -> dict:
+    """The tuner's shortlist-scoring stage: full simulation vs graph replay.
+
+    Records the shortlist of the quick Table I SymmSquareCube tuning
+    workload (p=2 mesh, n=64, PPN=1) once via ``search(replay="auto")``,
+    then re-scores it under every :data:`REPLAY_SWEEP` setting both ways —
+    ``simulate_candidate`` (fresh simulation) and ``replay_kernel`` (the
+    recorded event graph under the new constants).  Every score pair must
+    match bit for bit; walls are best-of-``reps`` per setting and summed,
+    and ``speedup`` is their in-run ratio.
+
+    Everything except the three walls is deterministic: the shortlist, the
+    graph sizes, the warm re-search's replay/simulation counters and the
+    replayed scores themselves are pure functions of the workload and are
+    gated exactly (the scores are pinned in the baseline, so replay must
+    produce identical bits on every machine).
+    """
+    from repro.netmodel.params import NetworkParams
+    from repro.sim.replay import replay_kernel
+    from repro.tune.candidates import (apply_collective, enumerate_candidates,
+                                       paper_default_candidate)
+    from repro.tune.search import search, simulate_candidate
+    from repro.tune.signature import signature_for_ssc
+
+    reps = 3 if quick else 5
+    base = NetworkParams()
+    sig = signature_for_ssc(2, 64, ppn=1, params=base)
+    cands = enumerate_candidates(sig)
+    default = paper_default_candidate(sig)
+    cand_by_key = {c.key: c for c in cands + [default]}
+
+    # Record once: the first search simulates the shortlist with recording
+    # on and fills the graph cache.
+    cache: dict = {}
+    first = search(sig, cands, default, params=base, replay="auto",
+                   graph_cache=cache)
+    shortlist = [(key[1], rec) for key, rec in sorted(cache.items())]
+
+    settings = [base.replace(**{f: getattr(base, f) * s})
+                for f, s in REPLAY_SWEEP]
+
+    # Deterministic end-to-end check: a warm re-search under perturbed
+    # constants must be served entirely by replay (zero simulator runs).
+    warm = search(sig, cands, default, params=settings[0], replay="auto",
+                  graph_cache=cache)
+
+    sim_wall = rep_wall = 0.0
+    scores: list[list[list[float]]] = []
+    equivalent = True
+    for params in settings:
+        effs = [(apply_collective(params, cand_by_key[ck].collective), rec,
+                 cand_by_key[ck]) for ck, rec in shortlist]
+        sim_scores = rep_scores = None
+        best = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            sim_scores = [simulate_candidate(sig, cand, params)
+                          for _eff, _rec, cand in effs]
+            wall = time.perf_counter() - t0
+            best = wall if best is None or wall < best else best
+        sim_wall += best
+        best = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            rep_scores = [replay_kernel(rec, params=eff)
+                          for eff, rec, _cand in effs]
+            wall = time.perf_counter() - t0
+            best = wall if best is None or wall < best else best
+        rep_wall += best
+        equivalent = equivalent and sim_scores == rep_scores
+        scores.append([list(pair) for pair in rep_scores])
+
+    return {
+        "workload": sig.key.rsplit(":", 1)[0],
+        "settings": len(settings),
+        "shortlist": len(shortlist),
+        "graph_nodes": sum(len(rec.kinds) for _ck, rec in shortlist),
+        "graph_flows": sum(len(rec.flows) for _ck, rec in shortlist),
+        "record_simulations": first.simulations,
+        "warm_simulations": warm.simulations,
+        "warm_replays": warm.replays,
+        "equivalent": equivalent,
+        "scores": scores,
+        "sim_wall": sim_wall,
+        "replay_wall": rep_wall,
+        "speedup": sim_wall / rep_wall,
+    }
+
+
 def find_baseline() -> pathlib.Path | None:
     """Locate the committed ``BENCH_sim_core.json`` (repo root)."""
     here = pathlib.Path(__file__).resolve()
@@ -245,15 +356,30 @@ def run(quick: bool = False) -> ExperimentOutput:
         pc["lookups"], pc["hits"], pc["misses"], pc["evictions"],
         pc["entries"], pc["hit_rate"], pc["lookups_per_sec"],
     ])
+    rp = run_replay_bench(quick)
+    values["replay"] = rp
+    rt = Table(
+        ["Shortlist", "Nodes", "Flows", "Settings", "Equal", "Sim (s)",
+         "Replay (s)", "Speedup"],
+        title="perf-sim-core: shortlist re-scoring, simulation vs replay",
+    )
+    rt.add_row([
+        rp["shortlist"], rp["graph_nodes"], rp["graph_flows"],
+        rp["settings"], rp["equivalent"], rp["sim_wall"],
+        rp["replay_wall"], rp["speedup"],
+    ])
     return ExperimentOutput(
         name="perf_sim_core",
-        tables=[t, pt],
+        tables=[t, pt, rt],
         values=values,
         notes=(
             "'canon ev/s' divides the PRE-optimization event count by the\n"
             "current wall time (fixed-workload throughput; 2x canon ev/s ==\n"
             "2x wall speedup).  'vs pre' is measured against the committed\n"
             f"{BASELINE_FILE}; counters are deterministic and gated exactly.\n"
+            "The replay table re-scores the recorded tuning shortlist under\n"
+            "perturbed fabric constants: scores must match full simulation\n"
+            f"bit for bit at >= {REPLAY_SPEEDUP_TARGET:.0f}x the speed.\n"
             "See docs/perf.md."
         ),
     )
@@ -307,3 +433,26 @@ def check(output: ExperimentOutput) -> None:
                 f"plan_cache: deterministic counter {key!r} drifted: "
                 f"{pc[key]} != baseline {base_pc[key]}"
             )
+    base_rp = baseline.get("replay")
+    if base_rp is not None:
+        rp = output.values["replay"]
+        assert rp["equivalent"] is True, (
+            "replay: re-scored shortlist diverged from full simulation — "
+            "graph replay is no longer bit-exact"
+        )
+        for key in ("workload", "settings", "shortlist", "graph_nodes",
+                    "graph_flows", "record_simulations", "warm_simulations",
+                    "warm_replays"):
+            assert rp[key] == base_rp[key], (
+                f"replay: deterministic value {key!r} drifted: "
+                f"{rp[key]!r} != baseline {base_rp[key]!r}"
+            )
+        assert rp["scores"] == base_rp["scores"], (
+            "replay: shortlist scores differ from the committed baseline — "
+            "replayed virtual times must be bit-identical on every machine"
+        )
+        assert rp["speedup"] >= REPLAY_SPEEDUP_TARGET, (
+            f"replay stage speedup is {rp['speedup']:.2f}x, below the "
+            f"required {REPLAY_SPEEDUP_TARGET:.1f}x (sim "
+            f"{rp['sim_wall']:.4f}s vs replay {rp['replay_wall']:.4f}s)"
+        )

@@ -151,6 +151,7 @@ class SSC25DResult:
     world: World
     mesh: Mesh3D
     tuning: "TuningRecord | None" = None  # decision trace when run with tune=  # noqa: F821
+    recording: "GraphRecorder | None" = None  # event graph when run with record=True  # noqa: F821
 
     @property
     def elapsed(self) -> float:
@@ -176,6 +177,8 @@ def run_ssc25d(
     tune: str | None = None,
     tune_db=None,
     deadline: float | None = None,
+    record: bool = False,
+    solver: str = "scalar",
 ) -> SSC25DResult:
     """Run Algorithm 6 on a fresh ``q x q x c`` world (cf. :func:`run_ssc`).
 
@@ -199,7 +202,7 @@ def run_ssc25d(
         result = run_ssc25d(
             bq, bc, n, d, n_dup=best.n_dup, ppn=best.ppn,
             iterations=iterations, params=eff, machine=machine, verify=verify,
-            deadline=deadline,
+            deadline=deadline, record=record, solver=solver,
         )
         result.tuning = record
         return result
@@ -207,7 +210,7 @@ def run_ssc25d(
     if real and not np.allclose(d, d.T):
         raise ValueError("SymmSquareCube requires a symmetric input matrix")
     world = World(block_placement(q * q * c, max(ppn, 1)), params=params,
-                  machine=machine, verify=verify)
+                  machine=machine, verify=verify, record=record, solver=solver)
     mesh = Mesh3D(world, q, q, c, n_dup=max(n_dup, 1))
 
     def program(env: RankEnv):
@@ -220,10 +223,12 @@ def run_ssc25d(
         gv = env.view(mesh.global_comm)
         times = []
         result = None
-        for _ in range(iterations):
+        for it in range(iterations):
             yield from gv.barrier()
             t0 = env.now
+            env.mark("t0", it)
             result = yield from ssc25d_program(env, mesh, n, d_blk, real, n_dup)
+            env.mark("t1", it)
             times.append(env.now - t0)
         return (times, result)
 
@@ -251,4 +256,8 @@ def run_ssc25d(
             clo, chi = block_range(j, n, q)
             d2[rlo:rhi, clo:chi] = blk2
             d3[rlo:rhi, clo:chi] = blk3
-    return SSC25DResult(d2=d2, d3=d3, times=iter_times, n=n, world=world, mesh=mesh)
+    if world.recorder is not None:
+        world.recorder.meta.update(kernel="ssc25d", ranks=q * q * c,
+                                   iterations=iterations)
+    return SSC25DResult(d2=d2, d3=d3, times=iter_times, n=n, world=world,
+                        mesh=mesh, recording=world.recorder)

@@ -476,6 +476,7 @@ class SSCResult:
     mesh: Mesh3D
     fallbacks: int = 0             # iterations that degraded to the blocking baseline
     tuning: "TuningRecord | None" = None  # decision trace when run with tune=  # noqa: F821
+    recording: "GraphRecorder | None" = None  # event graph when run with record=True  # noqa: F821
 
     @property
     def elapsed(self) -> float:
@@ -506,6 +507,8 @@ def run_ssc(
     tune: str | None = None,
     tune_db=None,
     deadline: float | None = None,
+    record: bool = False,
+    solver: str = "scalar",
 ) -> SSCResult:
     """Run ``iterations`` SymmSquareCube calls on a fresh ``p^3`` world.
 
@@ -557,7 +560,7 @@ def run_ssc(
             p, n, best.algorithm, d, n_dup=best.n_dup, ppn=best.ppn,
             iterations=iterations, params=eff, machine=machine,
             placement=placement, trace=trace, faults=faults, verify=verify,
-            deadline=deadline,
+            deadline=deadline, record=record, solver=solver,
         )
         result.tuning = record
         return result
@@ -571,7 +574,7 @@ def run_ssc(
     else:  # "round_robin" — check_placement already rejected anything else
         cluster = round_robin_placement(ranks, -(-ranks // ppn))
     world = World(cluster, params=params, machine=machine, trace=trace,
-                  faults=faults, verify=verify)
+                  faults=faults, verify=verify, record=record, solver=solver)
     mesh = Mesh3D(world, p, n_dup=max(n_dup, 1))
     program_fn = _ALGORITHMS[algorithm]
 
@@ -586,9 +589,10 @@ def run_ssc(
         times = []
         result = None
         fallbacks = 0
-        for _ in range(iterations):
+        for it in range(iterations):
             yield from gv.barrier()
             t0 = env.now
+            env.mark("t0", it)
             fall_back = False
             if algorithm == "optimized" and world.faults is not None:
                 flag = world.faults.link_degraded(env.now)
@@ -603,6 +607,7 @@ def run_ssc(
             else:
                 result = yield from program_fn(env, mesh, n, d_blk, real)
             t1 = env.now
+            env.mark("t1", it)
             times.append(t1 - t0)
         return (times, result, fallbacks)
 
@@ -631,5 +636,8 @@ def run_ssc(
             clo, chi = block_range(j, n, p)
             d2[rlo:rhi, clo:chi] = blk2
             d3[rlo:rhi, clo:chi] = blk3
+    if world.recorder is not None:
+        world.recorder.meta.update(kernel="ssc", ranks=ranks,
+                                   iterations=iterations)
     return SSCResult(d2=d2, d3=d3, times=iter_times, n=n, world=world, mesh=mesh,
-                     fallbacks=fallbacks)
+                     fallbacks=fallbacks, recording=world.recorder)

@@ -77,6 +77,7 @@ class ScheduleRunner:
         self._started = False
         self._batching = False
         self._add_batch: list = []
+        self._rec_acc = None  # recording: join of this round's completions
 
     # -- driving -----------------------------------------------------------------
 
@@ -117,8 +118,19 @@ class ScheduleRunner:
             self._pending -= 1
             if self._pending > 0:
                 return
+            self._rec_round_end()
             self._round += 1
         self.done.succeed(None)
+
+    def _rec_round_end(self) -> None:
+        """Recording: a round ends at the max over its completions' instants
+        — fold the accumulated join into the causal context the next round
+        (or the done event) chains from."""
+        eng = self.world.engine
+        rec = eng.recorder
+        if rec is not None and self._rec_acc is not None:
+            eng._rec_ctx = rec.join2(self._rec_acc, eng._rec_ctx)
+            self._rec_acc = None
 
     def _round_after_gap(self, gap: float) -> None:
         self.world.engine.schedule_after(gap, self._resume_after_gap)
@@ -129,6 +141,7 @@ class ScheduleRunner:
         self._post_round(ops)
         self._pending -= 1
         if self._pending == 0:
+            self._rec_round_end()
             self._round += 1
             self._advance()
 
@@ -145,6 +158,12 @@ class ScheduleRunner:
         batch = buf is not None and self.plan.round_adds[self._round] >= 2
         if batch:
             self._batching = True
+            rec = self.world.engine.recorder
+            if rec is not None:
+                # Whether a payload lands in the batch depends on arrival
+                # timing relative to the posting loop — not expressible in
+                # the graph.  (Tuner/golden runs are modeled-mode, buf=None.)
+                rec.invalidate("numeric-mode add batching")
         for op in ops:
             kind, peer_local, lo, hi, nbytes, needs_copy = op
             peer_global = ranks[peer_local]
@@ -246,7 +265,14 @@ class ScheduleRunner:
         self._complete_one()
 
     def _complete_one(self) -> None:
+        eng = self.world.engine
+        rec = eng.recorder
+        if rec is not None:
+            self._rec_acc = rec.join2(self._rec_acc, eng._rec_ctx)
         self._pending -= 1
         if self._pending == 0:
+            if rec is not None:
+                eng._rec_ctx = self._rec_acc  # includes the current instant
+                self._rec_acc = None
             self._round += 1
             self._advance()

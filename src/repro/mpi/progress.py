@@ -23,7 +23,8 @@ from repro.sim.trace import SpanKind, Trace
 class ProgressEngine:
     """FIFO serializer for one process's MPI-internal processing."""
 
-    __slots__ = ("engine", "rank", "trace", "busy_until", "total_busy", "faults")
+    __slots__ = ("engine", "rank", "trace", "busy_until", "total_busy", "faults",
+                 "rec_busy", "rec_arr_prev")
 
     def __init__(self, engine: Engine, rank: int, trace: Trace | None = None,
                  faults: FaultPlan | None = None):
@@ -33,6 +34,29 @@ class ProgressEngine:
         self.faults = faults
         self.busy_until = 0.0
         self.total_busy = 0.0
+        self.rec_busy = None      # recording: graph node of busy_until
+        self.rec_arr_prev = None  # recording: previous submission's arrival
+
+    def _rec_track(self, duration: float):
+        """Recording: thread this task through the FIFO busy chain.
+
+        ``finish = max(arrival, busy_until) + duration`` is max-plus, but
+        only while submissions stay in arrival order — consecutive arrivals
+        become order guards the replayer verifies under new constants.
+        """
+        eng = self.engine
+        rec = eng.recorder
+        if self.faults is not None:
+            rec.invalidate("fault plan dilates progress work")
+        arr = eng._rec_ctx
+        if arr is None:
+            arr = rec.const(eng.now)
+        if self.rec_arr_prev is not None:
+            rec.guard(self.rec_arr_prev, arr)
+        self.rec_arr_prev = arr
+        finish = rec.shift(rec.join2(arr, self.rec_busy), duration)
+        self.rec_busy = finish
+        return finish
 
     def submit(self, duration: float, label: str = "combine") -> SimEvent:
         """Enqueue ``duration`` seconds of processing; event fires when done.
@@ -55,9 +79,21 @@ class ProgressEngine:
         ev = self.engine.event("progress")
         if self.trace is not None and self.trace.enabled and duration > 0:
             self.trace.add(self.rank, start, finish, SpanKind.COMPUTE, f"progress:{label}")
+        rec = self.engine.recorder
+        if rec is None:
+            if finish <= now:
+                ev.succeed(None)
+            else:
+                self.engine.call_at(finish, ev.succeed)
+            return ev
+        finish_node = self._rec_track(duration)
         if finish <= now:
+            saved = self.engine._rec_ctx
+            self.engine._rec_ctx = finish_node
             ev.succeed(None)
+            self.engine._rec_ctx = saved
         else:
+            self.engine._rec_pending = finish_node
             self.engine.call_at(finish, ev.succeed)
         return ev
 
@@ -80,9 +116,21 @@ class ProgressEngine:
         if self.trace is not None and self.trace.enabled and duration > 0:
             self.trace.add(self.rank, start, finish, SpanKind.COMPUTE,
                            f"progress:{label}")
+        rec = self.engine.recorder
+        if rec is None:
+            if finish <= now:
+                fn(*args)
+            else:
+                self.engine.schedule_at(finish, fn, *args)
+            return
+        finish_node = self._rec_track(duration)
         if finish <= now:
+            saved = self.engine._rec_ctx
+            self.engine._rec_ctx = finish_node
             fn(*args)
+            self.engine._rec_ctx = saved
         else:
+            self.engine._rec_pending = finish_node
             self.engine.schedule_at(finish, fn, *args)
 
     def idle_at(self, t: float) -> bool:

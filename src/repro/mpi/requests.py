@@ -41,7 +41,7 @@ def _record_wait_span(world, rank: int, t0: float, label: str) -> None:
 class Request:
     """Handle for an in-flight nonblocking operation."""
 
-    __slots__ = ("world", "rank", "label", "done", "_result")
+    __slots__ = ("world", "rank", "label", "done", "_result", "_rec_ctx")
 
     def __init__(self, world, rank: int, label: str, done: SimEvent):
         self.world = world
@@ -49,6 +49,7 @@ class Request:
         self.label = label
         self.done = done
         self._result: Any = None
+        self._rec_ctx = None  # recording: graph node of the posting instant
 
     def set_result(self, value: Any) -> None:
         """Record the value :meth:`wait` will return (set by the layer below)."""
@@ -68,6 +69,11 @@ class Request:
         A ``True`` return completes the request (MPI_Test semantics): the
         verifier, if any, stops considering it leaked.
         """
+        engine = self.world.engine
+        if engine.recorder is not None:
+            # Poll results are timing-dependent control flow (the PPN-gating
+            # loop acts on them), so the recorded graph cannot be replayed.
+            engine.recorder.invalidate("Request.test polling")
         fired = self.done.fired
         if fired:
             v = self._verifier
@@ -85,6 +91,10 @@ class Request:
             yield self.done
             if v is not None:
                 v.on_wait_end(self.rank)
+        elif self.world.engine.recorder is not None:
+            # Skipped wait: under perturbed constants the completion may be
+            # the later instant — record the dependency anyway.
+            self.world.engine._rec_join_fired(self.done)
         if v is not None:
             v.mark_consumed(self)
         world = self.world
@@ -118,9 +128,12 @@ def waitall(requests: list[Request]):
     if v is not None:
         v.on_wait_begin(rank, requests, label)
     results = []
+    engine = world.engine
     for req in requests:
         if not req.done.fired:
             yield req.done
+        elif engine.recorder is not None:
+            engine._rec_join_fired(req.done)
         if v is not None:
             v.mark_consumed(req)
         results.append(req.result)
@@ -150,6 +163,8 @@ def waitany(requests: list[Request]):
     world = requests[0].world
     rank = requests[0].rank
     v = getattr(world, "verifier", None)
+    if world.engine.recorder is not None:
+        world.engine.recorder.invalidate("waitany race")
     for idx, req in enumerate(requests):
         if req.done.fired:
             if v is not None:

@@ -45,7 +45,7 @@ from repro.sim.trace import SpanKind
 
 class _SendState:
     __slots__ = ("src", "dst", "nbytes", "data", "eager", "request", "arrived",
-                 "recv", "attempt")
+                 "recv", "attempt", "rec_post", "rec_arr")
 
     def __init__(self, src, dst, nbytes, data, eager, request):
         self.src = src
@@ -57,6 +57,8 @@ class _SendState:
         self.arrived = False       # eager payload landed before recv posted
         self.recv: Request | None = None
         self.attempt = 0           # dropped-transmission retry counter
+        self.rec_post = None       # recording: graph node of the send post
+        self.rec_arr = None        # recording: graph node of payload arrival
 
 
 class Transport:
@@ -105,6 +107,11 @@ class Transport:
             label = self._send_labels[dst] = f"send->r{dst}"
         req = Request(self.world, src, label, done)
         state = _SendState(src, dst, nbytes, data, eager, req)
+        rec = self._engine.recorder
+        if rec is not None:
+            ctx = self._engine._rec_ctx
+            state.rec_post = ctx if ctx is not None else rec.const(
+                self._engine.now)
         key = (cid, dst, src, tag)
         if eager:
             # Ship immediately; sender is free as soon as posted.
@@ -130,6 +137,11 @@ class Transport:
         if label is None:
             label = self._recv_labels[src] = f"recv<-r{src}"
         req = Request(self.world, dst, label, done)
+        rec = self._engine.recorder
+        if rec is not None:
+            ctx = self._engine._rec_ctx
+            req._rec_ctx = ctx if ctx is not None else rec.const(
+                self._engine.now)
         key = (cid, dst, src, tag)
         sq = self._send_q.get(key)
         if sq:
@@ -153,7 +165,17 @@ class Transport:
             # else: flow-completion callback delivers.
         else:
             # Rendezvous: transfer starts now that both sides are present.
-            self._transmit(state)
+            rec = self._engine.recorder
+            if rec is not None:
+                # The wire transfer starts at max(send post, recv post)
+                # under any constants — a join, not "now".
+                saved = self._engine._rec_ctx
+                self._engine._rec_ctx = rec.join2(state.rec_post,
+                                                  recv._rec_ctx)
+                self._transmit(state)
+                self._engine._rec_ctx = saved
+            else:
+                self._transmit(state)
 
     def _transmit(self, state: _SendState) -> None:
         """Put a payload on the wire; dropped attempts retry with backoff."""
@@ -194,19 +216,35 @@ class Transport:
             )
 
     def _eager_arrived(self, state: _SendState) -> None:
+        if self._engine.recorder is not None:
+            state.rec_arr = self._engine._rec_ctx  # the flow's graph node
         state.arrived = True
         if state.recv is not None:
             self._deliver(state)
 
     def _rendezvous_done(self, state: _SendState) -> None:
+        if self._engine.recorder is not None:
+            state.rec_arr = self._engine._rec_ctx  # the flow's graph node
         state.request.done.succeed(None)
         self._deliver(state)
 
     def _deliver(self, state: _SendState) -> None:
         recv = state.recv
         assert recv is not None
-        recv.set_result(state.data)
-        recv.done.succeed(state.data)
+        engine = self._engine
+        rec = engine.recorder
+        if rec is not None:
+            # Delivery happens at max(payload arrival, recv post): for a
+            # late-posted eager recv "now" is the recv post, but under
+            # perturbed constants either side may dominate.
+            saved = engine._rec_ctx
+            engine._rec_ctx = rec.join2(state.rec_arr, recv._rec_ctx)
+            recv.set_result(state.data)
+            recv.done.succeed(state.data)
+            engine._rec_ctx = saved
+        else:
+            recv.set_result(state.data)
+            recv.done.succeed(state.data)
 
     # -- diagnostics ----------------------------------------------------------------
 

@@ -45,11 +45,26 @@ class World:
         faults: FaultPlan | None = None,
         verify: bool = False,
         verifier=None,
+        record: bool = False,
+        solver: str = "scalar",
     ):
         self.cluster = cluster
         self.params = params or NetworkParams()
         self.machine = machine or MachineParams()
         self.engine = Engine()
+        # The recorder must attach before any SimEvent exists: recording
+        # worlds store event callbacks with their causal context, and mixing
+        # pre-recorder events into that scheme is not supported.
+        self.recorder = None
+        if record:
+            from repro.sim.replay import GraphRecorder
+
+            rec = GraphRecorder(cluster=cluster, params=self.params,
+                                machine=self.machine)
+            if faults is not None:
+                rec.invalidate("fault plan attached")
+            self.engine.recorder = rec
+            self.recorder = rec
         self.trace = Trace(enabled=trace)
         self.faults = faults
         # The runtime correctness verifier (repro.analysis) must exist before
@@ -65,7 +80,8 @@ class World:
         if faults is not None:
             faults.reset()  # a reused plan replays identically in a new world
         self.fabric = Fabric(self.engine, cluster, self.params,
-                             self.trace if trace else None, faults=faults)
+                             self.trace if trace else None, faults=faults,
+                             solver=solver)
         self.transport = Transport(self)
         self._cid = 0
         self._progress = [
@@ -110,6 +126,20 @@ class World:
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} outside world")
         proc = SimProcess(self.engine, gen, name or f"rank{rank}")
+        rec = self.engine.recorder
+        if rec is not None:
+            # Replay needs every program's finish instant: bounded runs turn
+            # into DeadlineExceeded exactly when one of these marks lands
+            # past the deadline.
+            key = ("proc_done", rank, len(self._procs))
+            eng = self.engine
+
+            def _mark_done(_ev, _key=key, _eng=eng, _rec=rec):
+                ctx = _eng._rec_ctx
+                _rec.mark(_key, ctx if ctx is not None
+                          else _rec.const(_eng.now))
+
+            proc.done.add_callback(_mark_done)
         self._procs.append(proc)
         self._proc_ranks.append(rank)
         return proc
@@ -177,6 +207,17 @@ class RankEnv:
     def view(self, comm: Comm) -> CommView:
         """This rank's API handle on ``comm`` (must be a member)."""
         return comm.view(self.rank)
+
+    def mark(self, label: str, idx: int = 0) -> None:
+        """Recording: name the current instant ``(label, rank, idx)`` in the
+        event graph, so the replayer can reproduce derived timings (e.g. the
+        kernels' per-iteration spans).  No-op unless the world records."""
+        rec = self.world.engine.recorder
+        if rec is not None:
+            eng = self.world.engine
+            ctx = eng._rec_ctx
+            rec.mark((label, self.rank, idx),
+                     ctx if ctx is not None else rec.const(eng.now))
 
     def in_comm(self, comm: Comm) -> bool:
         return comm.contains(self.rank)

@@ -67,6 +67,8 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from repro.netmodel.params import NetworkParams
 from repro.netmodel.topology import Cluster
 from repro.sim.engine import _COMPACT_MIN, Engine, SimEvent
@@ -81,6 +83,12 @@ _INF = float("inf")
 # int instead of a (str, int) tuple.  ``ident`` is a node index for tx/rx/shm
 # and a rank for px.
 _K_TX, _K_RX, _K_PX, _K_SHM = 0, 1, 2, 3
+
+#: ``solver="auto"`` switches to the vectorized fair-share pass at this many
+#: merged flows per recompute; below it the scalar loop's lower constant
+#: wins.  The two paths are bit-for-bit identical (the vector pass only
+#: replaces the min-reduction; settle/eta arithmetic stays scalar).
+_VEC_MIN_FLOWS = 24
 
 
 class Flow:
@@ -104,6 +112,7 @@ class Flow:
         "start_time",
         "active",
         "timer",
+        "rec_node",
     )
 
     def __init__(self, fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap,
@@ -125,6 +134,7 @@ class Flow:
         self.start_time = 0.0
         self.active = False
         self.timer: list | None = None  # pending completion heap entry
+        self.rec_node = None  # recording: this flow's K_FLOW graph node
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -187,10 +197,20 @@ class Fabric:
         params: NetworkParams | None = None,
         trace: Trace | None = None,
         faults: FaultPlan | None = None,
+        solver: str = "scalar",
     ):
         self.engine = engine
         self.cluster = cluster
         self.params = params or NetworkParams()
+        # Fair-share solver: "scalar" (per-flow Python loop), "vector"
+        # (numpy pass over the whole merged flow set), or "auto" (vector
+        # above _VEC_MIN_FLOWS).  All three produce identical rates, etas
+        # and event orderings — see tests/test_fabric_conservation.py.
+        if solver not in ("scalar", "vector", "auto"):
+            raise ValueError(f"solver must be scalar|vector|auto: {solver!r}")
+        self.solver = solver
+        self._vec_min = (2 if solver == "vector"
+                         else _VEC_MIN_FLOWS if solver == "auto" else None)
         # Per-rank precomputation for the transfer_cb hot path: node lookup
         # without a method call, packed-int resource keys ready to use.
         placement = tuple(
@@ -309,6 +329,20 @@ class Fabric:
             done_cb, done_args,
         )
         flow.resources = resources
+        engine = self.engine
+        rec = engine.recorder
+        if rec is not None:
+            if self.faults is not None:
+                rec.invalidate("fault plan attached to the fabric")
+            post = engine._rec_ctx
+            if post is None:
+                post = rec.const(engine.now)
+            flow.rec_node = rec.flow(src_rank, dst_rank, nbytes,
+                                     extra_latency, post)
+            # The fabric's internal events (activation batches, completion
+            # timers) are replayed by the fabric itself — suppress graph
+            # nodes for the scheduling below.
+            engine._rec_suspend = True
         if nbytes > 0:
             # Coalesce same-instant activations into one engine event: a
             # nonzero flow's activation is unobservable until the
@@ -316,7 +350,6 @@ class Fabric:
             # arrival times needs one dispatch, not P.  Zero-byte flows
             # complete (and run user callbacks) at activation, so they keep
             # their own event to preserve intra-instant ordering.
-            engine = self.engine
             when = engine.now + latency
             batch = self._act_pending.get(when)
             if batch is None:
@@ -325,7 +358,9 @@ class Fabric:
             else:
                 batch.append(flow)
         else:
-            self.engine.schedule_after(latency, self._activate, flow)
+            engine.schedule_after(latency, self._activate, flow)
+        if rec is not None:
+            engine._rec_suspend = False
 
     def snapshot_stats(self) -> dict:
         """Current transfer counters (bytes are cumulative since creation)."""
@@ -425,6 +460,10 @@ class Fabric:
                 f"flow->r{flow.dst_rank}",
                 nbytes=flow.nbytes,
             )
+        if flow.rec_node is not None:
+            # Everything caused by this delivery chains off the flow's
+            # graph node, whose replayed value is the fabric's own answer.
+            self.engine._rec_ctx = flow.rec_node
         flow.done_cb(*flow.done_args)
 
     def _touch(self, keys: tuple) -> None:
@@ -474,6 +513,9 @@ class Fabric:
         else:
             flows = merged.values()
         shares = self._share_cache
+        vec_rates = None
+        if self._vec_min is not None and len(merged) >= self._vec_min:
+            vec_rates = self._min_rates_vec(flows)
         engine = self.engine
         maybe_done = self._maybe_done
         # Timer cancel/reschedule is inlined below (identical counter and
@@ -482,12 +524,15 @@ class Fabric:
         # engine state.
         heap = engine._heap
         heappush = heapq.heappush
-        for f in flows:
-            new_rate = f.cap
-            for key in f.resources:
-                share = shares[key]
-                if share < new_rate:
-                    new_rate = share
+        for i, f in enumerate(flows):
+            if vec_rates is not None:
+                new_rate = vec_rates[i]
+            else:
+                new_rate = f.cap
+                for key in f.resources:
+                    share = shares[key]
+                    if share < new_rate:
+                        new_rate = share
             rate = f.rate
             if new_rate == rate and rate > 0.0:
                 continue  # unchanged binding: existing completion stays valid
@@ -527,6 +572,33 @@ class Fabric:
             engine._seq = seq = engine._seq + 1
             f.timer = entry = [eta, seq, maybe_done, (f,)]
             heappush(heap, entry)
+
+    def _min_rates_vec(self, flows) -> list:
+        """Vectorized fair-share pass: min over each flow's resource shares.
+
+        One array pass replaces the per-flow Python min-loop: the flows'
+        resource keys are flattened, deduplicated with ``np.unique`` (one
+        :class:`_ShareCache` probe per *distinct* resource instead of one
+        per membership), gathered through the inverse index and segment-
+        min-reduced per flow.  ``min`` over IEEE doubles is exact and
+        order-free, so the returned rates are bit-for-bit the scalar
+        loop's; the caller's settle/eta arithmetic is untouched.
+        """
+        shares = self._share_cache
+        res_lists = [f.resources for f in flows]
+        nf = len(res_lists)
+        lens = np.fromiter((len(r) for r in res_lists), dtype=np.intp,
+                           count=nf)
+        flat = np.fromiter((k for r in res_lists for k in r), dtype=np.int64,
+                           count=int(lens.sum()))
+        uniq, inv = np.unique(flat, return_inverse=True)
+        vals = np.fromiter((shares[int(k)] for k in uniq), dtype=np.float64,
+                           count=len(uniq))
+        offsets = np.zeros(nf, dtype=np.intp)
+        np.cumsum(lens[:-1], out=offsets[1:])
+        mins = np.minimum.reduceat(vals[inv], offsets)
+        caps = np.fromiter((f.cap for f in flows), dtype=np.float64, count=nf)
+        return np.minimum(caps, mins).tolist()
 
     def _maybe_done(self, flow: Flow) -> None:
         flow.timer = None

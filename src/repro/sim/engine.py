@@ -110,7 +110,8 @@ class SimEvent:
     instead of allocating a closure per message.
     """
 
-    __slots__ = ("engine", "name", "_fired", "value", "_callbacks", "fire_time")
+    __slots__ = ("engine", "name", "_fired", "value", "_callbacks", "fire_time",
+                 "_rec_fire")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
@@ -119,6 +120,7 @@ class SimEvent:
         self.value: Any = None
         self.fire_time: float | None = None
         self._callbacks: list[tuple[Callable[..., None], tuple]] = []
+        self._rec_fire = None  # recording: graph node of the firing instant
 
     @property
     def fired(self) -> bool:
@@ -131,17 +133,44 @@ class SimEvent:
             raise SimulationError(f"event {self.name!r} fired twice")
         self._fired = True
         self.value = value
-        self.fire_time = self.engine.now
+        engine = self.engine
+        self.fire_time = engine.now
         callbacks, self._callbacks = self._callbacks, []
-        for cb, args in callbacks:
+        rec = engine.recorder
+        if rec is None:
+            for cb, args in callbacks:
+                cb(self, *args)
+            return
+        # Recording: each waiter resumes no earlier than both the firing
+        # instant and its own registration instant, whichever is later under
+        # perturbed constants — a max-plus join of the two graph nodes.
+        ctx = engine._rec_ctx
+        if ctx is None:
+            ctx = rec.const(engine.now)
+        self._rec_fire = ctx
+        for cb, args, add_ctx in callbacks:
+            engine._rec_ctx = rec.join2(ctx, add_ctx)
             cb(self, *args)
+        engine._rec_ctx = ctx
 
     def add_callback(self, cb: Callable[..., None], *args) -> None:
         """Register ``cb(event, *args)``; runs immediately if already fired."""
+        engine = self.engine
         if self._fired:
+            rec = engine.recorder
+            if rec is None:
+                cb(self, *args)
+                return
+            # Recording: the callback runs at max(fire instant, now) — which
+            # is "now", but under perturbation either side may dominate.
+            saved = engine._rec_ctx
+            engine._rec_ctx = rec.join2(self._rec_fire, saved)
             cb(self, *args)
-        else:
+            engine._rec_ctx = saved
+        elif engine.recorder is None:
             self._callbacks.append((cb, args))
+        else:
+            self._callbacks.append((cb, args, engine._rec_ctx))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "fired" if self._fired else "pending"
@@ -173,7 +202,9 @@ class Engine:
     def __init__(self):
         self.now: float = 0.0
         # Heap entries: [when, seq, fn, args].  fn is None once cancelled
-        # or fired; seq is unique so comparison never reaches fn.
+        # or fired; seq is unique so comparison never reaches fn.  While a
+        # recorder is attached, entries grow a fifth slot: the max-plus
+        # graph node of the dispatch instant (None for untracked events).
         self._heap: list[list] = []
         self._seq = 0
         self._nevents = 0
@@ -183,6 +214,13 @@ class Engine:
         self.peak_heap_size = 0
         self.compactions = 0
         self._flushed = (0, 0, 0)  # (events, cancelled, compactions) reported
+        # Event-graph recording (see repro.sim.replay).  Attach a
+        # GraphRecorder *before* the first event is created; the hooks are
+        # observationally free — they never change when anything runs.
+        self.recorder = None
+        self._rec_ctx = None      # graph node of the current dispatch
+        self._rec_pending = None  # override node for the next schedule_*
+        self._rec_suspend = False  # fabric-internal events are not recorded
 
     # -- statistics ---------------------------------------------------------
 
@@ -267,6 +305,10 @@ class Engine:
             )
         self._seq = seq = self._seq + 1
         entry = [when, seq, fn, args]
+        if self.recorder is not None:
+            node = self._rec_node_at(when)
+            if node is not None:
+                entry.append(node)
         heapq.heappush(self._heap, entry)
         return entry
 
@@ -276,8 +318,45 @@ class Engine:
             raise SimulationError(f"negative delay: {delay}")
         self._seq = seq = self._seq + 1
         entry = [self.now + delay, seq, fn, args]
+        if self.recorder is not None:
+            node = self._rec_node_after(delay)
+            if node is not None:
+                entry.append(node)
         heapq.heappush(self._heap, entry)
         return entry
+
+    def _rec_node_at(self, when: float):
+        """Graph node for an absolute-time schedule while recording."""
+        rec = self.recorder
+        pending = self._rec_pending
+        if pending is not None:
+            self._rec_pending = None
+            return pending
+        if self._rec_suspend:
+            return None
+        ctx = self._rec_ctx
+        if ctx is None:
+            return rec.const(when)  # setup-time schedule: a true constant
+        if when == self.now:
+            return ctx
+        # An absolute time computed from simulation state is a frozen
+        # constant the graph cannot re-derive under perturbed params.
+        rec.invalidate("absolute-time schedule from inside the event graph")
+        return rec.const(when)
+
+    def _rec_node_after(self, delay: float):
+        """Graph node for a relative schedule while recording."""
+        rec = self.recorder
+        pending = self._rec_pending
+        if pending is not None:
+            self._rec_pending = None
+            return pending
+        if self._rec_suspend:
+            return None
+        ctx = self._rec_ctx
+        if ctx is None:
+            ctx = rec.const(self.now)
+        return rec.shift(ctx, delay)
 
     def call_at(self, when: float, fn: Callable[..., None], *args) -> Timer:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``.
@@ -294,6 +373,10 @@ class Engine:
         """Retract a scheduled entry; safe on fired/cancelled entries."""
         if entry[2] is None:
             return
+        if self.recorder is not None and len(entry) > 4 and entry[4] is not None:
+            # A retracted recorded event means the schedule's structure
+            # depended on timing the graph cannot re-derive.
+            self.recorder.invalidate("cancelled a recorded event")
         entry[2] = None
         entry[3] = ()
         self.events_cancelled += 1
@@ -304,6 +387,18 @@ class Engine:
     def event(self, name: str = "") -> SimEvent:
         """Create a fresh unfired :class:`SimEvent` bound to this engine."""
         return SimEvent(self, name)
+
+    def _rec_join_fired(self, ev: SimEvent) -> None:
+        """Recording: fold an already-fired event's firing instant into the
+        current causal context.  Needed wherever code *skips* waiting on a
+        fired event — under perturbed constants the firing may come later,
+        so the continuation depends on both instants."""
+        rec = self.recorder
+        node = ev._rec_fire
+        if node is None:
+            node = rec.const(ev.fire_time if ev.fire_time is not None
+                             else self.now)
+        self._rec_ctx = rec.join2(self._rec_ctx, node)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> SimEvent:
         """An event that fires automatically after ``delay`` virtual seconds."""
@@ -352,6 +447,7 @@ class Engine:
         pop = heapq.heappop
         flush = self._flush
         peak = self.peak_heap_size
+        recording = self.recorder is not None
         nevents = 0  # batched into _nevents on exit (callbacks never read it)
         try:
             while True:
@@ -380,6 +476,8 @@ class Engine:
                     self.now = when
                     nevents += 1
                     entry[2] = None  # mark fired; cancel() is now a no-op
+                    if recording:
+                        self._rec_ctx = entry[4] if len(entry) > 4 else None
                     fn(*entry[3])
                 if not flush:
                     break

@@ -140,16 +140,35 @@ class SimProcess:
             self.engine.schedule_after(0.0, self._step, [])
             return
         remaining = {"n": len(events)}
+        rec = self.engine.recorder
 
-        def on_fire(_ev: SimEvent) -> None:
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                self._step([e.value for e in events])
+        if rec is None:
+            def on_fire(_ev: SimEvent) -> None:
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    self._step([e.value for e in events])
+        else:
+            # Recording: the resume instant is the max over every awaited
+            # event's firing — accumulate the join across callbacks.
+            acc = {"node": None}
+
+            def on_fire(_ev: SimEvent) -> None:
+                eng = self.engine
+                acc["node"] = rec.join2(acc["node"], eng._rec_ctx)
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    eng._rec_ctx = acc["node"]
+                    self._step([e.value for e in events])
 
         for ev in events:
             ev.add_callback(on_fire)
 
     def _wait_any(self, events: list[SimEvent]) -> None:
+        rec = self.engine.recorder
+        if rec is not None:
+            # Which event wins the race is timing-dependent control flow the
+            # max-plus graph cannot express.
+            rec.invalidate("AnyOf/waitany race")
         resumed = {"done": False}
 
         def make_cb(idx: int):
@@ -173,6 +192,9 @@ class SimProcess:
         """
         if self.done.fired:
             return
+        rec = self.engine.recorder
+        if rec is not None:
+            rec.invalidate("process interrupt")
         self.engine.schedule_after(0.0, self._maybe_throw)
 
     def _maybe_throw(self) -> None:

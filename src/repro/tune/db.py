@@ -31,8 +31,14 @@ DB_SCHEMA = 1
 #: Default record bound of a :class:`TuningDB`.
 DEFAULT_MAX_RECORDS = 256
 
-#: ``status`` vocabulary of decision-trace entries.
-TRACE_STATUSES = ("simulated", "pruned-model", "pruned-deadline", "model-only")
+#: ``status`` vocabulary of decision-trace entries.  ``replayed`` marks a
+#: shortlist score produced by the event-graph replayer
+#: (:mod:`repro.sim.replay`) instead of a full simulation;
+#: ``deadline-analytic`` marks a default candidate whose simulation hit the
+#: deadline but was kept as the incumbent at its analytic estimate (the
+#: search must never drop the paper default entirely).
+TRACE_STATUSES = ("simulated", "replayed", "pruned-model", "pruned-deadline",
+                  "deadline-analytic", "model-only")
 
 
 @dataclass

@@ -32,12 +32,23 @@ from repro.kernels.symmsquarecube import run_ssc
 from repro.netmodel.analytic import estimate_ssc25d_time, estimate_ssc_time
 from repro.netmodel.params import MachineParams, NetworkParams
 from repro.sim.engine import DeadlineExceeded
+from repro.sim.replay import ReplayInvalid, replay_kernel
 from repro.tune.candidates import Candidate, apply_collective
 from repro.tune.db import TraceEntry
 from repro.tune.signature import WorkloadSignature
 
 #: Stage-2 shortlist size (stage 1 keeps this many model-best candidates).
 DEFAULT_SHORTLIST = 4
+
+#: Shortlist-scoring backends: ``off`` always runs the full simulator;
+#: ``on`` records each simulated candidate's event graph and replays it on
+#: later scorings; ``auto`` does the same but only when the caller provides
+#: a shared ``graph_cache`` (recording into a throwaway cache is pure
+#: overhead).  Replay falls back to full simulation automatically whenever
+#: the recorded graph is invalid for the requested scoring (different
+#: topology/placement/machine, structural parameter change, or a recording
+#: the hooks marked unreplayable).
+REPLAY_MODES = ("auto", "on", "off")
 
 #: Hard cap on candidates scored by the model; beyond it the generator's
 #: output is subsampled deterministically with the search seed.
@@ -68,27 +79,34 @@ def model_time(sig: WorkloadSignature, cand: Candidate,
 def simulate_candidate(sig: WorkloadSignature, cand: Candidate,
                        params: NetworkParams | None = None,
                        machine: MachineParams | None = None,
-                       deadline: float | None = None) -> tuple[float, float]:
+                       deadline: float | None = None,
+                       record: bool = False):
     """Stage-2 exact score: one simulated kernel call of ``cand``.
 
     Returns ``(kernel_time, world_time)`` — the per-call kernel time (the
     comparison metric) and the world's final virtual time (the next
     incumbent deadline, inclusive of barriers and warm-up).  Raises
     :class:`DeadlineExceeded` when ``deadline`` cuts the run short.
+
+    With ``record=True`` the run captures its event dependency graph and
+    the return value grows to ``(kernel_time, world_time, recording)`` —
+    the recording is ``None``-safe but may be invalid (check ``.valid``).
     """
     eff = apply_collective(params or NetworkParams(), cand.collective)
     if cand.kernel == "ssc":
         res = run_ssc(
             cand.mesh[0], sig.n, cand.algorithm, n_dup=cand.n_dup,
             ppn=cand.ppn, params=eff, machine=machine,
-            placement=sig.placement, deadline=deadline,
+            placement=sig.placement, deadline=deadline, record=record,
         )
     else:
         q, _q, c = cand.mesh
         res = run_ssc25d(
             q, c, sig.n, n_dup=cand.n_dup, ppn=cand.ppn, params=eff,
-            machine=machine, deadline=deadline,
+            machine=machine, deadline=deadline, record=record,
         )
+    if record:
+        return res.elapsed, res.world.engine.now, res.recording
     return res.elapsed, res.world.engine.now
 
 
@@ -100,6 +118,7 @@ class SearchOutcome:
     default: TraceEntry
     trace: list[TraceEntry] = field(default_factory=list)
     simulations: int = 0
+    replays: int = 0                  #: shortlist scorings served by replay
 
 
 def _sample(cands: list[Candidate], limit: int, seed: int) -> list[Candidate]:
@@ -119,14 +138,34 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
            max_candidates: int = DEFAULT_MAX_CANDIDATES,
            seed: int = 0,
            model_only: bool = False,
-           exhaustive: bool = False) -> SearchOutcome:
+           exhaustive: bool = False,
+           replay: str = "off",
+           graph_cache: dict | None = None) -> SearchOutcome:
     """Run the two-stage search over ``candidates`` for ``sig``.
 
     ``model_only`` stops after stage 1 (no simulator runs); ``exhaustive``
     skips the shortlist and simulates every candidate (early termination
     still applies).  The paper ``default`` is always scored — simulated
     first, deadline-free — so the returned best is never worse than it.
+
+    ``replay`` selects the shortlist-scoring backend (see
+    :data:`REPLAY_MODES`); ``graph_cache`` is a caller-owned dict of
+    recorded event graphs keyed by ``(workload, candidate)``.  Pass the
+    same dict across searches that differ only in fabric constants (e.g. a
+    parameter sweep) and the shortlist re-scores by replaying the recorded
+    graphs — bit-for-bit the times a full simulation would produce —
+    instead of re-running the simulator.
     """
+    if replay not in REPLAY_MODES:
+        raise ValueError(f"replay must be one of {REPLAY_MODES}: {replay!r}")
+    use_replay = replay == "on" or (replay == "auto"
+                                    and graph_cache is not None)
+    if use_replay and graph_cache is None:
+        graph_cache = {}
+    # Cache key: workload identity *without* the fabric hash — reusing a
+    # graph under different constants is the entire point; compatibility is
+    # the recording's own check, not the key's.
+    wl_key = sig.key.rsplit(":", 1)[0]
     pool = _sample(candidates, max_candidates, seed)
     if default not in pool:
         pool = [default] + pool
@@ -155,21 +194,60 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
                                       if e.candidate.key != default.key]
 
     simulations = 0
+    replays = 0
     incumbent: TraceEntry | None = None
     incumbent_world = None
     for entry in short:
         deadline = (None if incumbent_world is None
                     else incumbent_world * DEADLINE_SLACK)
-        try:
-            kernel_time, world_time = simulate_candidate(
-                sig, entry.candidate, params, machine, deadline=deadline)
-        except DeadlineExceeded:
-            entry.status = "pruned-deadline"
+        scored = None
+        cache_key = (wl_key, entry.candidate.key)
+        if use_replay:
+            recg = graph_cache.get(cache_key)
+            if recg is not None:
+                eff = apply_collective(params or NetworkParams(),
+                                       entry.candidate.collective)
+                try:
+                    scored = replay_kernel(recg, params=eff, machine=machine,
+                                           deadline=deadline)
+                    replays += 1
+                except DeadlineExceeded:
+                    entry.status = "pruned-deadline"
+                    replays += 1
+                    continue
+                except ReplayInvalid:
+                    scored = None  # envelope violated: full simulation
+        if scored is None:
+            try:
+                if use_replay:
+                    kernel_time, world_time, recg = simulate_candidate(
+                        sig, entry.candidate, params, machine,
+                        deadline=deadline, record=True)
+                    if recg is not None and recg.valid:
+                        graph_cache[cache_key] = recg
+                else:
+                    kernel_time, world_time = simulate_candidate(
+                        sig, entry.candidate, params, machine,
+                        deadline=deadline)
+            except DeadlineExceeded:
+                simulations += 1
+                if incumbent is None:
+                    # The deadline-free default can only get here when a
+                    # caller-injected stage raises; dropping it would leave
+                    # the search with no incumbent (best=None downstream).
+                    # Keep it at its analytic estimate instead.
+                    entry.sim_time = entry.model_time
+                    entry.status = "deadline-analytic"
+                    incumbent = entry
+                else:
+                    entry.status = "pruned-deadline"
+                continue
             simulations += 1
-            continue
-        simulations += 1
+            entry.status = "simulated"
+        else:
+            kernel_time, world_time = scored
+            entry.status = "replayed"
         entry.sim_time = kernel_time
-        entry.status = "simulated"
         if (incumbent is None or kernel_time < incumbent.sim_time
                 or (kernel_time == incumbent.sim_time
                     and entry.candidate.key < incumbent.candidate.key)):
@@ -179,4 +257,5 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
 
     trace = sorted(entries.values(), key=lambda e: e.candidate.key)
     return SearchOutcome(best=incumbent, default=entries[default.key],
-                         trace=trace, simulations=simulations)
+                         trace=trace, simulations=simulations,
+                         replays=replays)

@@ -62,16 +62,27 @@ class Tuner:
                  policy: TuningPolicy = "auto", *,
                  shortlist: int = DEFAULT_SHORTLIST,
                  max_candidates: int = DEFAULT_MAX_CANDIDATES,
-                 seed: int = 0):
+                 seed: int = 0,
+                 replay: str = "off"):
         check_policy(policy)
         self.db = db if db is not None else TuningDB()
         self.policy = policy
         self.shortlist = shortlist
         self.max_candidates = max_candidates
         self.seed = seed
+        #: Shortlist-scoring backend knob, forwarded to
+        #: :func:`repro.tune.search.search` together with this tuner's
+        #: lifetime graph cache.  ``"off"`` (the default) keeps pure
+        #: full-simulation scoring; ``"on"``/``"auto"`` record each scored
+        #: candidate's event graph and replay it when the same workload is
+        #: re-tuned under different fabric constants (e.g. a sweep).
+        self.replay = replay
+        self.graph_cache: dict = {}
         #: Simulator invocations across this tuner's lifetime (warm starts
         #: add zero — the warm-start tests assert exactly that).
         self.simulations = 0
+        #: Shortlist scorings served by graph replay instead of simulation.
+        self.replays = 0
 
     # -- kernel entry points ---------------------------------------------------
 
@@ -123,8 +134,10 @@ class Tuner:
             shortlist=self.shortlist, max_candidates=self.max_candidates,
             seed=self.seed, model_only=(self.policy == "model-only"),
             exhaustive=(self.policy == "exhaustive"),
+            replay=self.replay, graph_cache=self.graph_cache,
         )
         self.simulations += outcome.simulations
+        self.replays += outcome.replays
         return outcome
 
     def _record(self, sig: WorkloadSignature,

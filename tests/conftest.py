@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
@@ -43,6 +45,64 @@ def symmetric(rng, n: int) -> np.ndarray:
     """A random dense symmetric matrix."""
     m = rng.standard_normal((n, n))
     return (m + m.T) / 2.0
+
+
+def storm_messages(num_ranks: int, seed: int,
+                   n_msgs: int = 16) -> list[tuple[int, int, int, int]]:
+    """A deterministic random fault-free message storm.
+
+    Returns ``(src, dst, nbytes, tag)`` tuples drawn from
+    ``random.Random(seed)`` — the shared schedule generator behind the
+    replay-equivalence property tests (and usable by any test that needs a
+    reproducible arbitrary communication pattern).  Sizes mix eager- and
+    rendezvous-class messages so both protocols appear in one storm.
+    """
+    rng = random.Random(seed)
+    sizes = (512, 24_000, 300_000, 2_500_000)
+    msgs = []
+    for tag in range(n_msgs):
+        src = rng.randrange(num_ranks)
+        dst = (src + rng.randrange(1, num_ranks)) % num_ranks
+        msgs.append((src, dst, rng.choice(sizes), tag))
+    return msgs
+
+
+def storm_program(world: World, msgs):
+    """Rank program for a :func:`storm_messages` schedule.
+
+    Every rank posts all its receives, then all its sends, then one
+    ``waitall`` — deadlock-free for any message list — and marks
+    ``storm_done`` so per-rank completion instants are comparable across
+    runs (and against a graph replay).
+    """
+    from repro.mpi.requests import waitall
+
+    def program(env: RankEnv):
+        comm = env.view(world.comm_world)
+        reqs = []
+        for (src, dst, nbytes, tag) in msgs:
+            if env.rank == dst:
+                req = yield from comm.irecv(src, tag=tag)
+                reqs.append(req)
+        for (src, dst, nbytes, tag) in msgs:
+            if env.rank == src:
+                req = yield from comm.isend(dst, nbytes=nbytes, tag=tag)
+                reqs.append(req)
+        if reqs:
+            yield from waitall(reqs)
+        env.mark("storm_done")
+
+    return program
+
+
+def run_storm_world(msgs, num_ranks: int, ppn: int = 1,
+                    params: NetworkParams | None = None,
+                    record: bool = False) -> tuple[float, World]:
+    """Run a storm schedule on a fresh world; ``(final_time, world)``."""
+    world = make_world(num_ranks, ppn=ppn, params=params, record=record)
+    world.spawn_all(storm_program(world, msgs))
+    final = world.run()
+    return final, world
 
 
 @pytest.fixture

@@ -47,11 +47,11 @@ def _chaos_plan() -> FaultPlan:
     ], seed=2019)
 
 
-def golden_run(scenario: str):
+def golden_run(scenario: str, record: bool = False):
     """The reference run whose trace is pinned (modeled mode: no numerics)."""
     faults = _chaos_plan() if scenario == "chaos" else None
     res = run_ssc(2, 8, "optimized", n_dup=2, ppn=2, iterations=1,
-                  trace=True, faults=faults)
+                  trace=True, faults=faults, record=record)
     return res.world.trace.to_jsonable()
 
 
@@ -74,6 +74,29 @@ def test_golden_trace_healthy():
 def test_golden_trace_chaos():
     expected = json.loads(FIXTURES["chaos"].read_text())
     _assert_span_for_span(golden_run("chaos"), expected, "chaos")
+
+
+def test_recording_is_trace_invisible():
+    """Event-graph recording must not move a single simulated event.
+
+    Both golden scenarios re-run with ``record=True`` (graph hooks armed in
+    the engine, fabric, transport, progress and collective layers) and must
+    emit traces bit-for-bit identical to the committed fixtures — recording
+    observes the run, it never participates in it.
+    """
+    for scenario, fixture in FIXTURES.items():
+        expected = json.loads(fixture.read_text())
+        _assert_span_for_span(golden_run(scenario, record=True), expected,
+                              f"{scenario}+record")
+
+
+def test_recording_solver_choice_is_trace_invisible():
+    """The vectorized fair-share solver is timing-neutral on golden runs."""
+    expected = json.loads(FIXTURES["healthy"].read_text())
+    res = run_ssc(2, 8, "optimized", n_dup=2, ppn=2, iterations=1,
+                  trace=True, solver="vector")
+    _assert_span_for_span(res.world.trace.to_jsonable(), expected,
+                          "healthy+vector-solver")
 
 
 def test_fixture_round_trips_through_trace_records():

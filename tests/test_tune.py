@@ -226,6 +226,106 @@ class TestSearchAndPolicies:
         assert simulated and all(e.sim_time is not None for e in simulated)
 
 
+class TestReplayBackend:
+    """The shortlist-scoring replay knob (see repro.sim.replay)."""
+
+    def _setup(self, params=None):
+        sig = signature_for_ssc(2, 64, params=params)
+        cands = enumerate_candidates(sig)
+        return sig, cands, paper_default_candidate(sig)
+
+    def test_replay_sweep_matches_full_simulation_bit_for_bit(self):
+        from repro.tune.search import search
+
+        base = NetworkParams()
+        p1 = base.replace(alpha=base.alpha * 1.5)
+        sig, cands, default = self._setup(params=base)
+        cache: dict = {}
+        first = search(sig, cands, default, params=base, replay="auto",
+                       graph_cache=cache)
+        assert first.simulations > 0 and first.replays == 0
+        assert len(cache) == first.simulations  # every scored graph cached
+        # Same workload under perturbed constants: the replay-backed search
+        # must run zero simulations and score bit-identically to a full one.
+        off = search(sig, cands, default, params=p1, replay="off")
+        on = search(sig, cands, default, params=p1, replay="auto",
+                    graph_cache=cache)
+        assert on.simulations == 0
+        assert on.replays == first.simulations
+        assert on.best.candidate.key == off.best.candidate.key
+        for a, b in zip(off.trace, on.trace):
+            assert a.candidate.key == b.candidate.key
+            assert a.sim_time == b.sim_time  # bit-for-bit
+        assert any(e.status == "replayed" for e in on.trace)
+
+    def test_replay_auto_without_cache_is_off(self):
+        from repro.tune.search import search
+
+        sig, cands, default = self._setup()
+        out = search(sig, cands, default, replay="auto")
+        assert out.replays == 0
+        assert all(e.status != "replayed" for e in out.trace)
+
+    def test_invalid_recording_falls_back_to_simulation(self):
+        from repro.tune.search import search
+
+        base = NetworkParams()
+        sig, cands, default = self._setup(params=base)
+        cache: dict = {}
+        first = search(sig, cands, default, params=base, replay="auto",
+                       graph_cache=cache)
+        for rec in cache.values():
+            rec.invalidate("poisoned by test")
+        p1 = base.replace(alpha=base.alpha * 1.25)
+        out = search(sig, cands, default, params=p1, replay="auto",
+                     graph_cache=cache)
+        # Every replay attempt refused -> full simulation, and the cache is
+        # repopulated with fresh valid recordings.
+        assert out.replays == 0
+        assert out.simulations == first.simulations
+        assert all(rec.valid for rec in cache.values())
+
+    def test_unknown_replay_mode_rejected(self):
+        from repro.tune.search import search
+
+        sig, cands, default = self._setup()
+        with pytest.raises(ValueError, match="replay"):
+            search(sig, cands, default, replay="maybe")
+
+    def test_tuner_owns_cache_across_fabric_settings(self):
+        base = NetworkParams()
+        p1 = base.replace(nic_bandwidth=base.nic_bandwidth * 0.8)
+        tuner = Tuner(replay="on")
+        tuner.autotune_ssc(2, 64, params=base)
+        sims_after_first = tuner.simulations
+        assert sims_after_first > 0 and tuner.replays == 0
+        # Different fabric constants -> different signature key -> a fresh
+        # search, served from the recorded graphs.
+        tuner.autotune_ssc(2, 64, params=p1)
+        assert tuner.replays > 0
+        assert tuner.simulations == sims_after_first
+
+    def test_deadline_on_first_candidate_keeps_default_as_incumbent(self,
+                                                                    monkeypatch):
+        """Regression: a DeadlineExceeded on the deadline-free default used
+        to silently drop it, leaving the search without an incumbent."""
+        import repro.tune.search as search_mod
+
+        def always_exceeds(*_a, **_kw):
+            raise DeadlineExceeded("injected by test")
+
+        monkeypatch.setattr(search_mod, "simulate_candidate", always_exceeds)
+        sig, cands, default = self._setup()
+        out = search_mod.search(sig, cands, default)
+        assert out.best is not None
+        assert out.best.candidate.key == default.key
+        assert out.best.status == "deadline-analytic"
+        assert out.best.sim_time == out.best.model_time
+        # Later shortlist entries were pruned, not promoted.
+        assert all(e.status in ("deadline-analytic", "pruned-deadline",
+                                "pruned-model") for e in out.trace)
+
+
 class TestKernelIntegration:
     def test_run_ssc_tune_attaches_record(self):
         db = TuningDB()
