@@ -38,6 +38,24 @@ CHECKS: dict[str, tuple[str, str, str]] = {
               "dup_many result indexed out of range of N_DUP"),
     "RA204": ("static", "error",
               "nondeterministic time/random use inside repro.sim / repro.mpi"),
+    "RA205": ("static", "error",
+              "buffer mutated between isend() and the wait() that completes it"),
+    "RA206": ("static", "error",
+              "wait/waitall on a request variable never assigned from a comm call"),
+    "RA301": ("plan", "error",
+              "deadlock: send/recv dependency cycle across ranks"),
+    "RA302": ("plan", "error",
+              "unmatched plan op: a send without its recv (or vice versa)"),
+    "RA303": ("plan", "error",
+              "matched send/recv disagree on element range or byte count"),
+    "RA304": ("plan", "error",
+              "unsound zero-copy bit: alias-free send overlaps an in-flight write"),
+    "RA305": ("plan", "warning",
+              "pessimistic copy bit: snapshot taken for a provably alias-free send"),
+    "RA306": ("plan", "error",
+              "schedule structure depends on a replay-safe fabric constant"),
+    "RA307": ("plan", "error",
+              "malformed plan op (bad kind, peer, range or precomputed size)"),
 }
 
 
@@ -102,6 +120,88 @@ def render_text(findings: list[Finding]) -> str:
 def render_json(findings: list[Finding]) -> str:
     """Machine-readable report (a JSON array of finding objects)."""
     return json.dumps([f.to_jsonable() for f in findings], indent=1)
+
+
+#: SARIF severity levels by finding severity.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _sarif_location(site: str | None) -> dict | None:
+    """Physical location for a ``file:line[ in func]`` site, if it parses.
+
+    Plan-level findings carry symbolic sites (plan keys, rank/round
+    coordinates) instead of file positions; those stay in the message text
+    and produce no SARIF location.
+    """
+    if not site:
+        return None
+    head = site.split(" in ")[0]
+    path, _, line = head.rpartition(":")
+    if not path or not line.isdigit():
+        return None
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": int(line)},
+        }
+    }
+
+
+def render_sarif(findings: list[Finding], tool_name: str = "repro.analysis") -> str:
+    """SARIF 2.1.0 report — what CI uploads so code hosts annotate findings.
+
+    Every check in :data:`CHECKS` appears as a rule (stable IDs again), and
+    each finding becomes one ``result``; findings with ``file:line`` sites
+    carry a physical location, symbolic (plan) sites ride in the message.
+    """
+    rules = [
+        {
+            "id": check,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(severity, "note"),
+            },
+        }
+        for check, (_kind, severity, title) in sorted(CHECKS.items())
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for f in findings:
+        message = f.message
+        where = []
+        if f.rank is not None:
+            where.append(f"rank {f.rank}")
+        if f.time is not None:
+            where.append(f"t={f.time:.9g}s")
+        if where:
+            message = f"{message} [{', '.join(where)}]"
+        result = {
+            "ruleId": f.check,
+            "ruleIndex": rule_index[f.check],
+            "level": _SARIF_LEVELS.get(f.severity, "note"),
+            "message": {"text": message},
+        }
+        loc = _sarif_location(f.site)
+        if loc is not None:
+            result["locations"] = [loc]
+        elif f.site:
+            result["message"]["text"] += f" (at {f.site})"
+        results.append(result)
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=1)
 
 
 _LIBRARY_DIRS = ("repro/mpi", "repro/analysis", "repro/sim")

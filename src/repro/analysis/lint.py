@@ -16,7 +16,15 @@ RA202  ``yield from view.i*(...)`` as a bare statement — the returned
 RA203  a ``dup_many(K)`` result indexed with a constant outside ``[-K, K)``;
 RA204  ``time``/``random`` (and unseeded ``numpy.random``) use inside
        ``repro.sim`` / ``repro.mpi`` — wall-clock or global-RNG state would
-       break the simulator's bit-for-bit determinism.
+       break the simulator's bit-for-bit determinism;
+RA205  a buffer passed to ``isend(data=...)`` is mutated between the post
+       and the ``wait()`` that completes it — the transport may hold a
+       zero-copy view, so the in-flight payload observes the write (the
+       static twin of the runtime RA103 buffer-hazard check);
+RA206  ``wait()``/``waitall()`` on a request variable that is never
+       assigned from a communication call in the function — every binding
+       is a bare literal (e.g. only ``req = None``), so the wait either
+       crashes or completes nothing.
 """
 
 from __future__ import annotations
@@ -138,7 +146,159 @@ class _FunctionLinter:
                 self._note_dup_many(node, dup_bounds)
             elif isinstance(node, ast.Subscript):
                 self._check_dup_index(node, dup_bounds)
+        self._check_request_protocol()
         return self.findings
+
+    # -- RA205/RA206: request lifecycle within one function body ---------------
+
+    @staticmethod
+    def _buffer_base(expr: ast.expr) -> str | None:
+        """Tracked base name of a ``data=`` argument (``buf`` / ``buf[a:b]``)."""
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Subscript) and isinstance(expr.value, ast.Name):
+            return expr.value.id
+        return None
+
+    @staticmethod
+    def _is_literal(expr: ast.expr) -> bool:
+        """A binding that can never carry a Request (``None``, ``[]``, 42)."""
+        if isinstance(expr, ast.Constant):
+            return True
+        return isinstance(expr, (ast.List, ast.Tuple)) and not expr.elts
+
+    def _check_request_protocol(self) -> None:
+        """RA205 (mutation inside an isend..wait window) and RA206 (wait on
+        a never-comm-assigned request variable).
+
+        Both checks reason per-name over this function body using source
+        order, so they are deliberately conservative: a name rebound inside
+        the window stops RA205 tracking, and a single non-literal binding
+        anywhere acquits a name for RA206 (the common
+        ``req = None; if cond: req = yield from isend(...)`` guard pattern
+        must never be flagged).
+        """
+        isends: list[tuple[str, str, int, ast.AST]] = []
+        wait_lines: dict[str, int] = {}      # req name -> first wait/waitall
+        mutations: list[tuple[str, int, ast.AST]] = []
+        rebinds: list[tuple[str, int]] = []
+        literal_only: dict[str, bool] = {}   # name -> every Assign is literal
+        grown: set[str] = set()              # lists receiving append/extend
+        waits: list[tuple[str, str, ast.AST]] = []  # (kind, name, node)
+        members: dict[str, set[str]] = {}    # list name -> appended req names
+        bound = {a.arg for a in (self.fn.args.args + self.fn.args.kwonlyargs
+                                 + self.fn.args.posonlyargs)}
+
+        def note_wait(name: str, lineno: int) -> None:
+            if name not in wait_lines or lineno < wait_lines[name]:
+                wait_lines[name] = lineno
+
+        for node in _own_statements(self.fn):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        rebinds.append((target.id, node.lineno))
+                        literal_only[target.id] = (
+                            literal_only.get(target.id, True)
+                            and self._is_literal(value))
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                bound.add(elt.id)
+                    elif isinstance(target, ast.Subscript):
+                        base = self._buffer_base(target)
+                        if base is not None:
+                            mutations.append((base, node.lineno, node))
+                if (isinstance(value, ast.YieldFrom)
+                        and isinstance(value.value, ast.Call)
+                        and _callable_name(value.value.func) == "isend"
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    for kw in value.value.keywords:
+                        if kw.arg == "data":
+                            buf = self._buffer_base(kw.value)
+                            if buf is not None:
+                                isends.append((node.targets[0].id, buf,
+                                               node.lineno, node))
+            elif isinstance(node, ast.AugAssign):
+                base = self._buffer_base(node.target)
+                if base is not None:
+                    mutations.append((base, node.lineno, node))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        bound.add(name_node.id)
+            elif isinstance(node, ast.withitem):
+                if isinstance(node.optional_vars, ast.Name):
+                    bound.add(node.optional_vars.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in ("append", "extend")
+                        and isinstance(func.value, ast.Name)):
+                    grown.add(func.value.id)
+                    reqs = members.setdefault(func.value.id, set())
+                    for arg in node.args:
+                        for name_node in ast.walk(arg):
+                            if isinstance(name_node, ast.Name):
+                                reqs.add(name_node.id)
+            elif isinstance(node, ast.YieldFrom):
+                call = node.value
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if (isinstance(func, ast.Attribute) and func.attr == "wait"
+                        and isinstance(func.value, ast.Name)):
+                    waits.append(("wait", func.value.id, node))
+                    note_wait(func.value.id, node.lineno)
+                elif (isinstance(func, ast.Name)
+                      and func.id in GENERATOR_FUNCTIONS):
+                    for name_node in ast.walk(
+                            call.args[0] if call.args else ast.Tuple(elts=[])):
+                        if isinstance(name_node, ast.Name):
+                            note_wait(name_node.id, node.lineno)
+                    if (call.args and isinstance(call.args[0], ast.Name)):
+                        waits.append(("waitall", call.args[0].id, node))
+
+        # waitall(lst) also completes every request appended into lst.
+        for lst, req_names in members.items():
+            if lst in wait_lines:
+                for req in req_names:
+                    note_wait(req, wait_lines[lst])
+
+        # RA205: a tracked buffer is written inside an isend..wait window.
+        for req, buf, post_line, _node in isends:
+            end = wait_lines.get(req)
+            if end is None or end <= post_line:
+                continue
+            for base, line, mut in mutations:
+                if base != buf or not post_line < line < end:
+                    continue
+                if any(name == buf and post_line < rb_line < line
+                       for name, rb_line in rebinds):
+                    continue  # rebound: the write targets a fresh object
+                self._emit(
+                    "RA205", mut,
+                    f"{buf!r} is mutated while the isend posted on line "
+                    f"{post_line} is still in flight (completed on line "
+                    f"{end}); the transport may hold a zero-copy view of "
+                    f"the buffer — move the write after the wait or send a "
+                    f"copy",
+                )
+
+        # RA206: wait on a name whose every binding is a bare literal.
+        for kind, name, node in waits:
+            if name in bound or name in grown:
+                continue
+            if literal_only.get(name, None) is True:
+                self._emit(
+                    "RA206", node,
+                    f"{kind}() on {name!r}, but every assignment to it in "
+                    f"this function is a bare literal — it is never "
+                    f"assigned from a communication call, so this wait "
+                    f"cannot complete anything",
+                )
 
     def _check_call(self, node: ast.Call, parents: dict) -> None:
         name = _callable_name(node.func)

@@ -140,6 +140,31 @@ def ssc25d_program(env: RankEnv, mesh: Mesh3D, n: int,
     return (d2_mat.copy(), d3_buf.reshape(bi, bj))
 
 
+def ssc25d_plan_population(q: int, c: int, n: int,
+                           n_dup: int = 1) -> set[tuple]:
+    """Every collective op shape Algorithm 6 can post, as
+    ``(verb, comm_size, root, n_elems, itemsize)`` tuples.
+
+    The 2.5D kernel's three collectives (replicating broadcast, inter-layer
+    allreduce, front-face reduce) all run over the grid dimension — ``c``
+    ranks, root 0 — moving ``n_dup`` contiguous parts of the ``bi*bj``
+    blocks of the ``q``-way partition; the per-iteration barrier spans the
+    full ``q^2 c`` mesh.  The Cannon shift itineraries are point-to-point
+    and are covered separately by
+    :func:`repro.analysis.schedule.verify_cannon_shift_plans`.
+    """
+    dims = sorted({block_dim(x, n, q) for x in range(q)})
+    blocks = sorted({a * b for a in dims for b in dims})
+    sizes = sorted({hi - lo for blk in blocks
+                    for lo, hi in part_slices(blk, n_dup)})
+    pop: set[tuple] = {("barrier", q * q * c, 0, 0, 1)}
+    for sz in sizes:
+        pop.add(("bcast", c, 0, sz, 8))
+        pop.add(("allreduce", c, 0, sz, 8))
+        pop.add(("reduce", c, 0, sz, 8))
+    return pop
+
+
 @dataclass
 class SSC25DResult:
     """Outcome of :func:`run_ssc25d`."""
@@ -174,6 +199,7 @@ def run_ssc25d(
     params: NetworkParams | None = None,
     machine: MachineParams | None = None,
     verify: bool = False,
+    verify_plans: bool = False,
     tune: str | None = None,
     tune_db=None,
     deadline: float | None = None,
@@ -202,7 +228,8 @@ def run_ssc25d(
         result = run_ssc25d(
             bq, bc, n, d, n_dup=best.n_dup, ppn=best.ppn,
             iterations=iterations, params=eff, machine=machine, verify=verify,
-            deadline=deadline, record=record, solver=solver,
+            verify_plans=verify_plans, deadline=deadline, record=record,
+            solver=solver,
         )
         result.tuning = record
         return result
@@ -210,7 +237,8 @@ def run_ssc25d(
     if real and not np.allclose(d, d.T):
         raise ValueError("SymmSquareCube requires a symmetric input matrix")
     world = World(block_placement(q * q * c, max(ppn, 1)), params=params,
-                  machine=machine, verify=verify, record=record, solver=solver)
+                  machine=machine, verify=verify, verify_plans=verify_plans,
+                  record=record, solver=solver)
     mesh = Mesh3D(world, q, q, c, n_dup=max(n_dup, 1))
 
     def program(env: RankEnv):

@@ -464,6 +464,36 @@ _ALGORITHMS = {
 }
 
 
+def ssc_plan_population(p: int, n: int, algorithm: str = "optimized",
+                        n_dup: int = 1) -> set[tuple]:
+    """Every collective op shape Algorithms 3-5 can post, as
+    ``(verb, comm_size, root, n_elems, itemsize)`` tuples.
+
+    This is the kernel's side of the static schedule-verification contract
+    (:func:`repro.analysis.schedule.check_plans`): the grid/row broadcasts
+    and column reductions move ``bi*bj`` / ``bk*bj`` / ``bi*bk`` / ``bj*bk``
+    blocks — all products of the ``p``-way block dimensions — with roots
+    drawn from the mesh coordinates, and Algorithm 5 splits each block into
+    ``n_dup`` contiguous parts.  The per-iteration barrier spans the full
+    ``p^3`` mesh.  Roots are enumerated over ``range(p)`` (a superset of
+    the coordinate-derived roots), so verifying this population proves
+    every plan the kernel can request.
+    """
+    dims = sorted({block_dim(x, n, p) for x in range(p)})
+    blocks = sorted({a * b for a in dims for b in dims})
+    if algorithm == "optimized":
+        sizes = sorted({hi - lo for blk in blocks
+                        for lo, hi in part_slices(blk, n_dup)})
+    else:
+        sizes = blocks
+    pop: set[tuple] = {("barrier", p ** 3, 0, 0, 1)}
+    for sz in sizes:
+        for root in range(p):
+            pop.add(("bcast", p, root, sz, 8))
+            pop.add(("reduce", p, root, sz, 8))
+    return pop
+
+
 @dataclass
 class SSCResult:
     """Outcome of :func:`run_ssc`."""
@@ -504,6 +534,7 @@ def run_ssc(
     trace: bool = False,
     faults: FaultPlan | None = None,
     verify: bool = False,
+    verify_plans: bool = False,
     tune: str | None = None,
     tune_db=None,
     deadline: float | None = None,
@@ -521,6 +552,12 @@ def run_ssc(
     assembled ``D^2``/``D^3`` for the caller to check; modeled mode times the
     kernel at full paper scale without allocating matrix data.  Each call is
     preceded by a barrier and timed as the max across ranks.
+
+    ``verify_plans`` is the opt-in static-verification debug gate: every
+    collective plan set is proven deadlock-free / zero-copy sound before
+    its first execution, and any RA3xx error finding raises
+    :class:`~repro.analysis.schedule.PlanVerificationError` (see
+    :mod:`repro.analysis.schedule`).
 
     ``faults`` attaches a :class:`~repro.sim.faults.FaultPlan`.  Under an
     active plan the optimized algorithm degrades gracefully: before each
@@ -560,7 +597,8 @@ def run_ssc(
             p, n, best.algorithm, d, n_dup=best.n_dup, ppn=best.ppn,
             iterations=iterations, params=eff, machine=machine,
             placement=placement, trace=trace, faults=faults, verify=verify,
-            deadline=deadline, record=record, solver=solver,
+            verify_plans=verify_plans, deadline=deadline, record=record,
+            solver=solver,
         )
         result.tuning = record
         return result
@@ -574,7 +612,8 @@ def run_ssc(
     else:  # "round_robin" — check_placement already rejected anything else
         cluster = round_robin_placement(ranks, -(-ranks // ppn))
     world = World(cluster, params=params, machine=machine, trace=trace,
-                  faults=faults, verify=verify, record=record, solver=solver)
+                  faults=faults, verify=verify, verify_plans=verify_plans,
+                  record=record, solver=solver)
     mesh = Mesh3D(world, p, n_dup=max(n_dup, 1))
     program_fn = _ALGORITHMS[algorithm]
 

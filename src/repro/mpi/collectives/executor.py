@@ -86,6 +86,14 @@ class ScheduleRunner:
         if self._started:
             raise RuntimeError("ScheduleRunner started twice")
         self._started = True
+        if getattr(self.world, "verify_plans", False) and self.plan.key is not None:
+            # Opt-in debug gate: statically prove the whole cross-rank plan
+            # set sound before executing it (memoized per plan key).  Raw
+            # schedules (key=None) have no registry set to rebuild; the raw
+            # entry points are covered by verify_plan_set in tests instead.
+            from repro.analysis.schedule import assert_plan_sound
+
+            assert_plan_sound(self.plan)
         self._advance()
         return self.done
 

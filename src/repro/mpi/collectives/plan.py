@@ -81,6 +81,73 @@ GENERATORS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# algorithm selection (pure functions of the op shape + network parameters)
+# ---------------------------------------------------------------------------
+#
+# These are the *protocol decisions* of :class:`~repro.mpi.comm.CommView`:
+# given a collective verb and an op shape, which generator from
+# :data:`GENERATORS` runs it.  They are deliberately pure functions of
+# ``(p, n_elems, itemsize, params)`` — no world, no engine — so the static
+# schedule verifier (:mod:`repro.analysis.schedule`) can symbolically
+# execute them with a field-access-tracing parameter proxy and prove that
+# schedule *structure* never depends on a replay-safe fabric constant
+# (finding RA306; see ``REPLAY_SAFE_FIELDS`` in :mod:`repro.sim.replay`).
+
+
+def select_bcast(p: int, n_elems: int, itemsize: int, params) -> str:
+    """Broadcast algorithm for ``n_elems`` elements on ``p`` ranks."""
+    if n_elems * itemsize < params.long_message_threshold or p <= 2:
+        return "bcast_binomial"
+    return "bcast_long"
+
+
+def select_reduce(p: int, n_elems: int, itemsize: int, params) -> str:
+    """Reduce-to-root algorithm (binomial / Rabenseifner / ring)."""
+    if n_elems * itemsize < params.long_message_threshold or p <= 2:
+        return "reduce_binomial"
+    if p & (p - 1) == 0:  # power of two: recursive halving (Rabenseifner)
+        return "reduce_rabenseifner"
+    return "reduce_ring"
+
+
+def select_allreduce(p: int, n_elems: int, itemsize: int, params) -> str:
+    """Allreduce algorithm (short / fold+halving / ring)."""
+    if n_elems * itemsize < params.long_message_threshold or p <= 2:
+        return "allreduce_short"
+    if p & (p - 1) == 0:
+        return "allreduce_long"
+    return "allreduce_ring"
+
+
+def select_allgather(p: int, n_elems: int, itemsize: int, params) -> str:
+    """Allgather algorithm (the ring is used at every size)."""
+    return "allgather_ring"
+
+
+def select_reduce_scatter(p: int, n_elems: int, itemsize: int, params) -> str:
+    """Reduce-scatter algorithm (the ring is used at every size)."""
+    return "reduce_scatter_ring"
+
+
+def select_barrier(p: int, n_elems: int, itemsize: int, params) -> str:
+    """Barrier algorithm (dissemination at every size)."""
+    return "barrier"
+
+
+#: collective verb -> selection function.  The static verifier iterates
+#: this registry; adding a verb here automatically puts its protocol
+#: decision under the RA306 replay-envelope check.
+SELECTORS = {
+    "bcast": select_bcast,
+    "reduce": select_reduce,
+    "allreduce": select_allreduce,
+    "allgather": select_allgather,
+    "reduce_scatter": select_reduce_scatter,
+    "barrier": select_barrier,
+}
+
+
 class CollectivePlan:
     """One rank's fully-precomputed execution plan for one collective.
 

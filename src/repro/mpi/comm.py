@@ -24,7 +24,12 @@ from typing import Any
 import numpy as np
 
 from repro.mpi.collectives.executor import ScheduleRunner
-from repro.mpi.collectives.plan import get_plan
+from repro.mpi.collectives.plan import (
+    get_plan,
+    select_allreduce,
+    select_bcast,
+    select_reduce,
+)
 from repro.mpi.requests import Request
 from repro.sim.process import Delay
 from repro.sim.trace import SpanKind
@@ -285,10 +290,8 @@ class CommView:
 
     def _bcast_schedule(self, n_elems, itemsize, root):
         p = self.comm.size
-        nbytes = n_elems * itemsize
-        if nbytes < self.world.params.long_message_threshold or p <= 2:
-            return get_plan("bcast_binomial", p, self.rank, root, n_elems, itemsize)
-        return get_plan("bcast_long", p, self.rank, root, n_elems, itemsize)
+        algorithm = select_bcast(p, n_elems, itemsize, self.world.params)
+        return get_plan(algorithm, p, self.rank, root, n_elems, itemsize)
 
     def ibcast(self, buf=None, *, nbytes: int | None = None, root: int = 0):
         """Generator: nonblocking broadcast from ``root`` (MPI_Ibcast).
@@ -320,13 +323,8 @@ class CommView:
 
     def _reduce_schedule(self, n_elems, itemsize, root):
         p = self.comm.size
-        nbytes = n_elems * itemsize
-        if nbytes < self.world.params.long_message_threshold or p <= 2:
-            return get_plan("reduce_binomial", p, self.rank, root, n_elems, itemsize)
-        if p & (p - 1) == 0:  # power of two: recursive halving (Rabenseifner)
-            return get_plan("reduce_rabenseifner", p, self.rank, root, n_elems,
-                            itemsize)
-        return get_plan("reduce_ring", p, self.rank, root, n_elems, itemsize)
+        algorithm = select_reduce(p, n_elems, itemsize, self.world.params)
+        return get_plan(algorithm, p, self.rank, root, n_elems, itemsize)
 
     def _reduce_working(self, sendbuf, nbytes, label="reduce"):
         arr, n_elems, itemsize, nb = self._resolve_buf(sendbuf, nbytes)
@@ -376,12 +374,8 @@ class CommView:
 
     def _allreduce_schedule(self, n_elems, itemsize):
         p = self.comm.size
-        nbytes = n_elems * itemsize
-        if nbytes < self.world.params.long_message_threshold or p <= 2:
-            return get_plan("allreduce_short", p, self.rank, 0, n_elems, itemsize)
-        if p & (p - 1) == 0:
-            return get_plan("allreduce_long", p, self.rank, 0, n_elems, itemsize)
-        return get_plan("allreduce_ring", p, self.rank, 0, n_elems, itemsize)
+        algorithm = select_allreduce(p, n_elems, itemsize, self.world.params)
+        return get_plan(algorithm, p, self.rank, 0, n_elems, itemsize)
 
     def iallreduce(self, sendbuf=None, *, nbytes: int | None = None):
         """Generator: nonblocking allreduce (sum); ``wait()`` returns the array."""

@@ -45,6 +45,7 @@ class World:
         faults: FaultPlan | None = None,
         verify: bool = False,
         verifier=None,
+        verify_plans: bool = False,
         record: bool = False,
         solver: str = "scalar",
     ):
@@ -77,6 +78,10 @@ class World:
         self.verifier = verifier
         if verifier is not None:
             verifier.attach(self)
+        # Opt-in debug gate: statically verify every cached collective plan
+        # set the first time a runner executes it (RA3xx findings raise a
+        # PlanVerificationError; see repro.analysis.schedule).
+        self.verify_plans = verify_plans
         if faults is not None:
             faults.reset()  # a reused plan replays identically in a new world
         self.fabric = Fabric(self.engine, cluster, self.params,

@@ -1,0 +1,17 @@
+"""RA205 fixture: buffer mutated between isend() and its wait()."""
+
+import numpy as np
+
+
+def program(env, view):
+    buf = np.zeros(8)
+    req = yield from view.isend(1, data=buf, tag=0)
+    buf[0] = 1.0  # RA205: the in-flight zero-copy view observes this write
+    yield from req.wait()
+
+
+def program_slice(env, view):
+    buf = np.zeros(8)
+    req = yield from view.isend(1, data=buf[0:4], tag=0)
+    buf[2] += 1.0  # RA205: augmented store into the sent range's base
+    yield from req.wait()

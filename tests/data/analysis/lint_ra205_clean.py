@@ -1,0 +1,26 @@
+"""RA205 mutation twin: the same shapes, all writes outside the window."""
+
+import numpy as np
+
+
+def program(env, view):
+    buf = np.zeros(8)
+    req = yield from view.isend(1, data=buf, tag=0)
+    yield from req.wait()
+    buf[0] = 1.0  # after the wait: the payload is delivered, no hazard
+
+
+def program_snapshot(env, view):
+    buf = np.zeros(8)
+    part = np.array(buf[0:4])
+    req = yield from view.isend(1, data=part, tag=0)
+    buf[2] = 1.0  # a different object: `part` is a private snapshot
+    yield from req.wait()
+
+
+def program_rebound(env, view):
+    part = np.zeros(4)
+    req = yield from view.isend(1, data=part, tag=0)
+    part = np.ones(4)
+    part[0] = 2.0  # rebound above: this writes a fresh array, not the payload
+    yield from req.wait()

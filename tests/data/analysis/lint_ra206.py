@@ -1,0 +1,15 @@
+"""RA206 fixture: wait/waitall on never-comm-assigned request variables."""
+
+from repro.mpi.requests import waitall
+
+
+def program(env, view):
+    req = None
+    yield from view.send(1, nbytes=8)
+    yield from req.wait()  # RA206: `req` is only ever bound to None
+
+
+def program_waitall(env, view):
+    reqs = []
+    yield from view.send(1, nbytes=8)
+    yield from waitall(reqs)  # RA206: `reqs` never receives a request

@@ -1,0 +1,19 @@
+"""RA206 mutation twin: the guard patterns that must never be flagged."""
+
+from repro.mpi.requests import waitall
+
+
+def program_guarded(env, view, cond):
+    req = None
+    if cond:
+        req = yield from view.isend(1, nbytes=8)
+    if req is not None:
+        yield from req.wait()
+
+
+def program_accumulated(env, view):
+    reqs = []
+    for dst in (1, 2):
+        req = yield from view.isend(dst, nbytes=8)
+        reqs.append(req)
+    yield from waitall(reqs)

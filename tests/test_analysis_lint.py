@@ -27,6 +27,8 @@ STATIC_FIXTURES = {
     "RA202": "lint_ra202.py",
     "RA203": "lint_ra203.py",
     "RA204": "lint_ra204.py",
+    "RA205": "lint_ra205.py",
+    "RA206": "lint_ra206.py",
 }
 
 
@@ -70,6 +72,13 @@ def test_ra203_mutation_noop_index_check(monkeypatch):
 
 def test_ra204_mutation_determinism_pass_off():
     assert lint_fixture("lint_ra204.py", determinism=False) == []
+
+
+def test_ra205_ra206_mutation_noop_protocol_check(monkeypatch):
+    monkeypatch.setattr(lint_mod._FunctionLinter, "_check_request_protocol",
+                        lambda self: None)
+    assert lint_fixture("lint_ra205.py") == []
+    assert lint_fixture("lint_ra206.py") == []
 
 
 # -- check-specific behaviors --------------------------------------------------
@@ -121,6 +130,36 @@ def test_ra204_seeded_rng_allowed_unseeded_flagged():
         == {"RA204"}
 
 
+def test_ra205_clean_twins_not_flagged():
+    assert lint_fixture("lint_ra205_clean.py") == []
+
+
+def test_ra206_clean_twins_not_flagged():
+    assert lint_fixture("lint_ra206_clean.py") == []
+
+
+def test_ra205_mutation_after_wait_ok():
+    src = ("def prog(env, view, buf):\n"
+           "    req = yield from view.isend(1, data=buf)\n"
+           "    yield from req.wait()\n"
+           "    buf[0] = 1.0\n")
+    assert lint_source(src) == []
+
+
+def test_ra205_augassign_in_window_flagged():
+    src = ("def prog(env, view, buf):\n"
+           "    req = yield from view.isend(1, data=buf)\n"
+           "    buf[0] += 1.0\n"
+           "    yield from req.wait()\n")
+    assert {f.check for f in lint_source(src)} == {"RA205"}
+
+
+def test_ra206_parameter_requests_never_flagged():
+    src = ("def prog(env, reqs):\n"
+           "    yield from waitall(reqs)\n")
+    assert lint_source(src) == []
+
+
 def test_syntax_error_is_reported_not_raised(tmp_path):
     bad = tmp_path / "bad.py"
     bad.write_text("def broken(:\n")
@@ -167,3 +206,34 @@ def test_cli_exit_codes_and_json(tmp_path, capsys):
 
     assert cli_main(["lint", str(tmp_path / "missing.py")]) == 2
     assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def prog(env, comm):\n"
+        "    comm.bcast(nbytes=64)\n"
+        "    yield from comm.barrier()\n"
+    )
+    assert cli_main(["lint", str(dirty), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    assert results and results[0]["ruleId"] == "RA201"
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"].endswith("dirty.py")
+    assert loc["region"]["startLine"] == 2
+
+
+def test_cli_fail_on_error_still_fails_on_lint_errors(tmp_path, capsys):
+    # Every RA2xx finding is error severity, so --fail-on error must not
+    # change lint exit codes — it only releases warning-severity findings
+    # (RA305 pessimism) from failing a plan check.
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "def prog(env, comm):\n"
+        "    comm.bcast(nbytes=64)\n"
+        "    yield from comm.barrier()\n"
+    )
+    assert cli_main(["lint", str(dirty), "--fail-on", "error"]) == 1
+    capsys.readouterr()

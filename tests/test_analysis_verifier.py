@@ -249,8 +249,12 @@ def test_verify_leaves_golden_trace_unchanged():
 
 def test_checks_registry_is_consistent():
     for check, (kind, severity, title) in CHECKS.items():
-        assert kind in ("runtime", "static")
+        assert kind in ("runtime", "static", "plan")
         assert severity in ("error", "warning")
         assert title
     assert set(RUNTIME_CHECKS) == {c for c, meta in CHECKS.items()
                                    if meta[0] == "runtime"}
+    # ID bands track the kind: RA1xx runtime, RA2xx static lint, RA3xx plan.
+    for check, (kind, _severity, _title) in CHECKS.items():
+        band = {"1": "runtime", "2": "static", "3": "plan"}[check[2]]
+        assert kind == band, check
