@@ -86,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     plans_p = sub.add_parser(
         "check-plans",
         help="statically verify collective plan sets (RA3xx)")
-    plans_p.add_argument("--kernel", choices=("ssc", "ssc25d"),
+    plans_p.add_argument("--kernel", choices=("ssc", "ssc25d", "summa"),
                          help="restrict to one kernel workload")
     plans_p.add_argument("--n", type=int,
                          help="matrix dimension of the workload")
@@ -166,7 +166,8 @@ def main(argv: list[str] | None = None) -> int:
 
 def _signatures_from_args(args):
     """Workload signatures selected by the check-plans flags (None = default)."""
-    from repro.tune.signature import signature_for_ssc, signature_for_ssc25d
+    from repro.tune.signature import (signature_for_ssc, signature_for_ssc25d,
+                                      signature_for_summa)
 
     if args.signature:
         from repro.analysis.schedule import signature_from_key
@@ -180,6 +181,8 @@ def _signatures_from_args(args):
         raise ValueError("--kernel requires --n")
     if args.kernel == "ssc":
         return [signature_for_ssc(args.p, args.n)]
+    if args.kernel == "summa":
+        return [signature_for_summa(args.p, args.n)]
     return [signature_for_ssc25d(args.p, args.c, args.n)]
 
 

@@ -56,6 +56,9 @@ CHECKS: dict[str, tuple[str, str, str]] = {
               "schedule structure depends on a replay-safe fabric constant"),
     "RA307": ("plan", "error",
               "malformed plan op (bad kind, peer, range or precomputed size)"),
+    "RA308": ("plan", "error",
+              "channel claim out of fabric range, or two disjoint colors "
+              "sharing one (link, channel) resource"),
 }
 
 

@@ -40,6 +40,15 @@ RA306  **replay-envelope conformance.**  Schedule structure must be a pure
        is the finding.
 RA307  **structural validity** of the plan data itself (op kinds, peer
        ranges, interval sanity, precomputed sizes, key consistency).
+RA308  **channel-claim soundness.**  Kernels that pin communicator colors
+       to fabric channels (the pipelined-multicast SUMMA family) declare
+       their ``(color, channel)`` claims
+       (:func:`repro.dense.summa.summa_channel_claims`); every claimed
+       channel must exist on the fabric (``0..num_channels-1`` — an
+       out-of-range index would key resources outside the per-channel
+       tables) and no two *distinct* colors may claim the same channel:
+       their flows would share every ``(link, channel)`` resource while
+       the schedule prices them as disjoint capacity.
 
 Entry points
 ------------
@@ -407,6 +416,48 @@ def verify_selector_envelope(p: int, n_elems: int, itemsize: int = 8,
 
 
 # ---------------------------------------------------------------------------
+# RA308: channel-claim soundness of color-to-lane pinnings
+# ---------------------------------------------------------------------------
+
+
+def verify_channel_claims(claims, num_channels: int,
+                          label: str) -> list[Finding]:
+    """RA308 over a kernel's declared ``(color, channel)`` pinning.
+
+    ``claims`` lists which fabric channel each communicator color rides
+    (e.g. :func:`repro.dense.summa.summa_channel_claims`).  Two defects
+    are findings: a channel outside ``0..num_channels-1`` (the fabric has
+    no such lane — resource keys would index past the per-channel
+    tables), and two *different* colors claiming one channel (every
+    ``(link, channel)`` resource is shared, so the disjoint-capacity
+    assumption the colored schedule is priced under is false).  The same
+    color may appear repeatedly — re-claiming its own lane is idempotent.
+    """
+    findings: list[Finding] = []
+    owner: dict[int, int] = {}
+    for color, channel in claims:
+        if not (isinstance(channel, int) and 0 <= channel < num_channels):
+            findings.append(Finding(
+                check="RA308",
+                message=(f"color {color} claims channel {channel!r}, "
+                         f"outside the fabric's 0..{num_channels - 1} "
+                         f"lane range"),
+                site=label, extra={"color": color, "channel": channel}))
+            continue
+        first = owner.setdefault(channel, color)
+        if first != color:
+            findings.append(Finding(
+                check="RA308",
+                message=(f"colors {first} and {color} both claim channel "
+                         f"{channel}; their flows share every (link, "
+                         f"channel) resource the colored schedule prices "
+                         f"as disjoint"),
+                site=label,
+                extra={"colors": (first, color), "channel": channel}))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Cannon shift-plan consistency (the 2.5D kernels' P2P itineraries)
 # ---------------------------------------------------------------------------
 
@@ -475,6 +526,7 @@ class PlanCheckReport:
     plan_sets: int = 0        #: distinct plan sets verified
     selector_checks: int = 0  #: selector-envelope checks run
     cannon_checks: int = 0    #: Cannon itinerary families verified
+    channel_checks: int = 0   #: channel-claim (RA308) checks run
     workloads: list[str] = field(default_factory=list)
     candidates: int = 0       #: candidate configurations walked
 
@@ -488,7 +540,8 @@ class PlanCheckReport:
             f"check-plans: {len(self.workloads)} workload(s), "
             f"{self.candidates} candidate(s), {self.plan_sets} plan set(s), "
             f"{self.selector_checks} selector check(s), "
-            f"{self.cannon_checks} cannon famil{'y' if self.cannon_checks == 1 else 'ies'} "
+            f"{self.cannon_checks} cannon famil{'y' if self.cannon_checks == 1 else 'ies'}, "
+            f"{self.channel_checks} channel claim(s) "
             f"-> {e} error(s), {w} warning(s)"
         )
 
@@ -501,6 +554,13 @@ def _population_for(candidate, n: int) -> set:
         return ssc_plan_population(candidate.mesh[0], n,
                                    algorithm=candidate.algorithm,
                                    n_dup=candidate.n_dup)
+    if candidate.kernel == "summa":
+        from repro.dense.summa import summa_plan_population
+
+        return set(summa_plan_population(candidate.mesh[0], n,
+                                         algorithm=candidate.algorithm,
+                                         colors=candidate.n_dup,
+                                         depth=candidate.depth))
     from repro.kernels.ssc25d import ssc25d_plan_population
 
     q, _q, c = candidate.mesh
@@ -576,6 +636,21 @@ def check_plans(signatures=None, *, params: NetworkParams | None = None,
                     report.cannon_checks += 1
                     report.findings.extend(
                         verify_cannon_shift_plans(*ckey))
+            if cand.kernel == "summa":
+                from repro.dense.summa import summa_channel_claims
+
+                # Colored candidates run on a fabric widened to their
+                # color count (run_summa/simulate_candidate bump
+                # num_channels the same way).
+                nch = max(base.num_channels, cand.n_dup)
+                claims = summa_channel_claims(
+                    cand.mesh[0], algorithm=cand.algorithm,
+                    colors=cand.n_dup, depth=cand.depth)
+                report.channel_checks += 1
+                report.findings.extend(verify_channel_claims(
+                    claims, nch,
+                    f"summa[{cand.algorithm},p={cand.mesh[0]},"
+                    f"colors={cand.n_dup},depth={cand.depth}]"))
     if not pessimism_warnings:
         report.findings = [f for f in report.findings if f.check != "RA305"]
     report.findings.sort(key=lambda f: (f.site or "", f.check))
@@ -610,12 +685,15 @@ def signature_from_key(key: str):
         raise ValueError(
             f"signature key {key!r}: mesh {mesh_s!r} does not factor "
             f"{ranks} ranks")
-    from repro.tune.signature import signature_for_ssc, signature_for_ssc25d
+    from repro.tune.signature import (signature_for_ssc, signature_for_ssc25d,
+                                      signature_for_summa)
 
     if kernel == "ssc":
         return signature_for_ssc(mesh[0], n, ppn=ppn, placement=placement)
     if kernel == "ssc25d":
         return signature_for_ssc25d(mesh[0], mesh[2], n, ppn=ppn)
+    if kernel == "summa":
+        return signature_for_summa(mesh[0], n, ppn=ppn)
     raise ValueError(f"signature key {key!r}: unknown kernel {kernel!r}")
 
 
@@ -625,17 +703,20 @@ def default_signatures(*, params=None, machine=None):
     Table I sweeps Algorithms 3-5 and Table II the ``N_DUP`` axis, both on
     the ``4^3`` mesh over the three molecular systems; one ``ssc``
     signature per system dimension covers both tables (the candidate
-    enumeration spans every algorithm and ``N_DUP``), and a small 2.5D
+    enumeration spans every algorithm and ``N_DUP``), a small 2.5D
     signature keeps Algorithm 6's plan space and Cannon itineraries in
-    the gate.
+    the gate, and a SUMMA signature walks the pipelined-multicast family
+    (its channel claims included — RA308).
     """
     from repro.purify import SYSTEMS
-    from repro.tune.signature import signature_for_ssc, signature_for_ssc25d
+    from repro.tune.signature import (signature_for_ssc, signature_for_ssc25d,
+                                      signature_for_summa)
 
     sigs = [signature_for_ssc(4, n, params=params, machine=machine)
             for n, _nocc in SYSTEMS.values()]
     sigs.append(signature_for_ssc25d(4, 2, 512, params=params,
                                      machine=machine))
+    sigs.append(signature_for_summa(4, 1024, params=params, machine=machine))
     return sigs
 
 
@@ -745,6 +826,26 @@ def mutation_fixtures() -> dict[str, tuple[list[CollectivePlan], str]]:
     return fixtures
 
 
+def channel_claim_fixtures() -> dict[str, tuple[list, int, str]]:
+    """Deliberately-broken channel claims -> ``(claims, num_channels, check)``.
+
+    The RA308 analogue of :func:`mutation_fixtures`: each entry corrupts
+    the 4-color SUMMA claim set one way (a lane past the fabric's range; a
+    collision where two colors map onto one lane) and must fail closed
+    with exactly RA308.
+    """
+    from repro.dense.summa import summa_channel_claims
+
+    good = summa_channel_claims(4, algorithm="colored", colors=4, depth=4)
+    collided = [(color, channel % 2) for color, channel in good]
+    return {
+        # 4 colors but only a 2-lane fabric: colors 2 and 3 are out of range.
+        "channel-out-of-range": (good, 2, "RA308"),
+        # Colors folded onto lanes 0/1 of a 4-lane fabric: pairwise sharing.
+        "colliding-colors": (collided, 4, "RA308"),
+    }
+
+
 def run_selftest() -> list[str]:
     """Run every mutation fixture; returns failure descriptions (empty = ok).
 
@@ -767,6 +868,18 @@ def run_selftest() -> list[str]:
         if unexpected:
             failures.append(
                 f"{name}: unexpected extra error checks {sorted(unexpected)}")
+    for name, (claims, nch, expected) in sorted(
+            channel_claim_fixtures().items()):
+        checks = {f.check
+                  for f in verify_channel_claims(claims, nch, label=name)}
+        if expected not in checks:
+            failures.append(
+                f"{name}: expected {expected} among error findings, got "
+                f"{sorted(checks) or 'none'}")
+        if checks - {expected}:
+            failures.append(
+                f"{name}: unexpected extra error checks "
+                f"{sorted(checks - {expected})}")
     for algorithm in sorted(GENERATORS):
         for p in (2, 3, 4, 5, 8):
             findings = [f for f in verify_collective(algorithm, p, 0, 64)
@@ -775,4 +888,17 @@ def run_selftest() -> list[str]:
                 failures.append(
                     f"{algorithm} p={p}: library plans not clean: "
                     + "; ".join(f.render() for f in findings))
+    # The clean direction of RA308: every valid SUMMA variant's claims.
+    from repro.dense.summa import summa_channel_claims
+
+    for algorithm, colors, depth in (("plain", 1, 1), ("streaming", 1, 4),
+                                     ("colored", 2, 2), ("colored", 4, 4)):
+        claims = summa_channel_claims(4, algorithm=algorithm, colors=colors,
+                                      depth=depth)
+        bad = verify_channel_claims(claims, max(colors, 1),
+                                    f"summa-{algorithm}-{colors}")
+        if bad:
+            failures.append(
+                f"summa {algorithm} colors={colors}: claims not clean: "
+                + "; ".join(f.render() for f in bad))
     return failures

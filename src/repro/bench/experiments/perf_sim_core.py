@@ -50,6 +50,14 @@ Metrics per workload:
     eviction/entry counters are exact and gated against the baseline like
     the engine counters; warm lookups/sec is informative only.
 
+``summa``
+    The SUMMA-family headline numbers on the bandwidth-bound p=4 /
+    n=2048 configuration: simulated times of plain, streaming(depth 4)
+    and 4-color pipelined-multicast SUMMA.  Virtual times are
+    deterministic, so they are gated **exactly** against the baseline,
+    and the colored-4 vs plain speedup must reach
+    :data:`SUMMA_SPEEDUP_TARGET`.
+
 ``replay``
     The event-graph replay stage (:mod:`repro.sim.replay`): record the
     tuner's shortlist for the quick Table I workload once, then re-score it
@@ -89,6 +97,13 @@ WORKLOADS: dict[str, tuple[int, int, int, int, int, int, int]] = {
 SPEEDUP_TARGET = 2.0
 #: CI regression tolerance on (machine-normalized) events/sec.
 EPS_TOLERANCE = 0.20
+
+#: SUMMA acceptance criterion: 4-color pipelined-multicast SUMMA must beat
+#: plain SUMMA by at least this factor of *simulated* time on the
+#: bandwidth-bound configuration below (deterministic — no tolerance).
+SUMMA_SPEEDUP_TARGET = 1.5
+#: The committed bandwidth-bound SUMMA configuration: (p, n, ppn).
+SUMMA_CONFIG = (4, 2048, 1)
 
 #: Replay acceptance criterion: re-scoring the tuner's recorded shortlist
 #: by graph replay must beat full simulation by at least this wall-time
@@ -303,6 +318,33 @@ def run_replay_bench(quick: bool) -> dict:
     }
 
 
+def run_summa_bench() -> dict:
+    """Deterministic SUMMA-family headline: plain vs pipelined variants.
+
+    Simulates the three variants on the bandwidth-bound
+    :data:`SUMMA_CONFIG` mesh in modeled-size mode.  Every returned time
+    is *virtual* (discrete-event clock), hence bit-identical on every
+    machine — the CI gate compares them exactly and requires the
+    colored-4 speedup to reach :data:`SUMMA_SPEEDUP_TARGET`.
+    """
+    from repro.dense import run_summa
+
+    p, n, ppn = SUMMA_CONFIG
+    plain = run_summa(p, n, algorithm="plain", ppn=ppn)
+    streaming = run_summa(p, n, algorithm="streaming", depth=4, ppn=ppn)
+    colored = run_summa(p, n, algorithm="colored", colors=4, depth=4, ppn=ppn)
+    return {
+        "p": p,
+        "n": n,
+        "ppn": ppn,
+        "plain_time": plain.elapsed,
+        "streaming_time": streaming.elapsed,
+        "colored4_time": colored.elapsed,
+        "colored4_speedup": plain.elapsed / colored.elapsed,
+        "streaming_speedup": plain.elapsed / streaming.elapsed,
+    }
+
+
 def find_baseline() -> pathlib.Path | None:
     """Locate the committed ``BENCH_sim_core.json`` (repo root)."""
     here = pathlib.Path(__file__).resolve()
@@ -356,6 +398,18 @@ def run(quick: bool = False) -> ExperimentOutput:
         pc["lookups"], pc["hits"], pc["misses"], pc["evictions"],
         pc["entries"], pc["hit_rate"], pc["lookups_per_sec"],
     ])
+    sm = run_summa_bench()
+    values["summa"] = sm
+    st = Table(
+        ["p", "n", "PPN", "plain (ms)", "stream-d4 (ms)", "col4-d4 (ms)",
+         "col4 speedup"],
+        title="perf-sim-core: SUMMA family, simulated time (deterministic)",
+    )
+    st.add_row([
+        sm["p"], sm["n"], sm["ppn"], sm["plain_time"] * 1e3,
+        sm["streaming_time"] * 1e3, sm["colored4_time"] * 1e3,
+        sm["colored4_speedup"],
+    ])
     rp = run_replay_bench(quick)
     values["replay"] = rp
     rt = Table(
@@ -370,13 +424,17 @@ def run(quick: bool = False) -> ExperimentOutput:
     ])
     return ExperimentOutput(
         name="perf_sim_core",
-        tables=[t, pt, rt],
+        tables=[t, pt, st, rt],
         values=values,
         notes=(
             "'canon ev/s' divides the PRE-optimization event count by the\n"
             "current wall time (fixed-workload throughput; 2x canon ev/s ==\n"
             "2x wall speedup).  'vs pre' is measured against the committed\n"
             f"{BASELINE_FILE}; counters are deterministic and gated exactly.\n"
+            "The SUMMA table simulates the pipelined-multicast family on\n"
+            "the committed bandwidth-bound mesh: virtual times are gated\n"
+            f"bit for bit and colored-4 must reach\n"
+            f">= {SUMMA_SPEEDUP_TARGET:.1f}x over plain (docs/channels.md).\n"
             "The replay table re-scores the recorded tuning shortlist under\n"
             "perturbed fabric constants: scores must match full simulation\n"
             f"bit for bit at >= {REPLAY_SPEEDUP_TARGET:.0f}x the speed.\n"
@@ -432,6 +490,21 @@ def check(output: ExperimentOutput) -> None:
             assert pc[key] == base_pc[key], (
                 f"plan_cache: deterministic counter {key!r} drifted: "
                 f"{pc[key]} != baseline {base_pc[key]}"
+            )
+    sm = output.values["summa"]
+    assert sm["colored4_speedup"] >= SUMMA_SPEEDUP_TARGET, (
+        f"4-color pipelined SUMMA speedup over plain is "
+        f"{sm['colored4_speedup']:.2f}x, below the required "
+        f"{SUMMA_SPEEDUP_TARGET:.1f}x on p={sm['p']}, n={sm['n']}"
+    )
+    base_sm = baseline.get("summa")
+    if base_sm is not None:
+        for key in ("p", "n", "ppn", "plain_time", "streaming_time",
+                    "colored4_time"):
+            assert sm[key] == base_sm[key], (
+                f"summa: deterministic value {key!r} drifted: "
+                f"{sm[key]!r} != baseline {base_sm[key]!r} — simulated "
+                f"SUMMA times must be bit-identical on every machine"
             )
     base_rp = baseline.get("replay")
     if base_rp is not None:

@@ -49,6 +49,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
     "table3": ("table3_ppn", "SymmSquareCube vs PPN with N_DUP=1 and 4"),
     "table4": ("table4_comm_volume", "Inter-node volume/bandwidth/time vs PPN"),
     "table5": ("table5_25d", "2.5D SymmSquareCube configurations"),
+    "table6": (
+        "table6_summa",
+        "SUMMA family: colors x tile depth x mesh, with autotuned pick",
+    ),
     "ext-cg": (
         "ext_cg_solver",
         "extension (§VI): overlapped reductions in conjugate gradient",
@@ -132,6 +136,21 @@ class ExperimentOutput:
                     f"{pc.get('evictions', 0)} evictions, "
                     f"hit rate {pc.get('hit_rate', 0.0):.1%}\n"
                 )
+            fab = s.get("fabric")
+            # Only worth a line when traffic actually used extra channels;
+            # single-channel experiments keep their report bytes unchanged.
+            if fab and any(fab.get("channel_messages", [0])[1:]):
+                msgs = fab["channel_messages"]
+                byts = fab["channel_bytes"]
+                used = max(i for i, m in enumerate(msgs) if m) + 1
+                parts.append(
+                    "fabric channels: "
+                    + ", ".join(
+                        f"ch{i} {msgs[i]:,} msgs / {byts[i]:,.0f} B"
+                        for i in range(used)
+                    )
+                    + "\n"
+                )
         return "\n".join(parts)
 
 
@@ -158,11 +177,13 @@ def _isolate_point(name: str, idx: int) -> None:
     import numpy as np
 
     from repro.mpi.collectives.plan import shared_plans
+    from repro.netmodel.fabric import Fabric
     from repro.sim.engine import Engine
 
     shared_plans.clear()
     shared_plans.reset()
     Engine.reset_aggregate_stats()
+    Fabric.reset_aggregate_stats()
     np.random.seed(point_seed(name, idx))
 
 
@@ -170,19 +191,23 @@ def _run_grid_point(payload):
     """Worker entry point (top-level so spawn contexts can pickle it)."""
     name, idx, point, quick = payload
     from repro.mpi.collectives.plan import shared_plans
+    from repro.netmodel.fabric import Fabric
     from repro.sim.engine import Engine
 
     mod = load_experiment(name)
     _isolate_point(name, idx)
     result = mod.run_point(point, quick=quick)
-    return idx, result, Engine.aggregate_stats(), shared_plans.stats()
+    return (idx, result, Engine.aggregate_stats(), shared_plans.stats(),
+            Fabric.aggregate_stats())
 
 
-def _merge_point_stats(engine_stats: list[dict], plan_stats: list[dict]) -> dict:
+def _merge_point_stats(engine_stats: list[dict], plan_stats: list[dict],
+                       fabric_stats: list[dict] | None = None) -> dict:
     """Combine per-point counters the way one long-lived process would.
 
-    Engine events/cancellations/compactions and plan-cache counters are
-    extensive (summed); peak heap size is a maximum.  The merge is a pure
+    Engine events/cancellations/compactions, plan-cache counters and
+    per-channel fabric traffic are extensive (summed; channel counters
+    element-wise); peak heap size is a maximum.  The merge is a pure
     function of the ordered per-point stats, so serial and ``--jobs N``
     sweeps produce identical ``sim_stats``.
     """
@@ -204,6 +229,17 @@ def _merge_point_stats(engine_stats: list[dict], plan_stats: list[dict]) -> dict
         "entries": sum(p.get("entries", 0) for p in plan_stats),
         "hit_rate": (hits / lookups) if lookups else 0.0,
     }
+    if fabric_stats:
+        from repro.netmodel.params import MAX_CHANNELS
+
+        byts = [0.0] * MAX_CHANNELS
+        msgs = [0] * MAX_CHANNELS
+        for f in fabric_stats:
+            for i, b in enumerate(f.get("channel_bytes", ())):
+                byts[i] += b
+            for i, m in enumerate(f.get("channel_messages", ())):
+                msgs[i] += m
+        merged["fabric"] = {"channel_bytes": byts, "channel_messages": msgs}
     return merged
 
 
@@ -223,6 +259,7 @@ def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> ExperimentO
     per-point isolation.
     """
     from repro.mpi.collectives.plan import shared_plans
+    from repro.netmodel.fabric import Fabric
     from repro.sim.engine import Engine
 
     mod = load_experiment(name)
@@ -239,13 +276,17 @@ def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> ExperimentO
             raw = [_run_grid_point(p) for p in payloads]
         raw.sort(key=lambda r: r[0])  # grid order regardless of completion
         out = mod.assemble([r[1] for r in raw], quick=quick)
-        out.sim_stats = _merge_point_stats([r[2] for r in raw], [r[3] for r in raw])
+        out.sim_stats = _merge_point_stats(
+            [r[2] for r in raw], [r[3] for r in raw], [r[4] for r in raw]
+        )
         return out
     Engine.reset_aggregate_stats()
+    Fabric.reset_aggregate_stats()
     shared_plans.clear()
     shared_plans.reset()
     out = mod.run(quick=quick)
     if not out.sim_stats:
         out.sim_stats = Engine.aggregate_stats()
         out.sim_stats["plan_cache"] = shared_plans.stats()
+        out.sim_stats["fabric"] = Fabric.aggregate_stats()
     return out

@@ -30,7 +30,11 @@ from repro.dense.distribution import (
 )
 from repro.dense.mesh import Mesh2D, Mesh3D
 from repro.dense.matvec import run_matvec, matvec_program
-from repro.dense.summa import run_summa
+from repro.dense.summa import (
+    run_summa,
+    summa_channel_claims,
+    summa_plan_population,
+)
 from repro.dense.cannon import cannon_program
 from repro.dense.mm25d import run_mm25d
 from repro.dense.mm3d import run_mm3d
@@ -48,6 +52,8 @@ __all__ = [
     "run_matvec",
     "matvec_program",
     "run_summa",
+    "summa_channel_claims",
+    "summa_plan_population",
     "cannon_program",
     "run_mm25d",
     "run_mm3d",

@@ -107,25 +107,44 @@ class Mesh2D:
     ``j``), ``col_comm(j)`` spans ``P[:, j]`` (local rank = ``i``).
     """
 
-    def __init__(self, world: World, p: int, n_dup: int = 1):
+    def __init__(self, world: World, p: int, n_dup: int = 1, channels=None):
         check_positive("p", p)
         check_positive("n_dup", n_dup)
         if p * p > world.num_ranks:
             raise ValueError(f"mesh {p}x{p} needs {p * p} ranks")
+        if channels is not None and len(channels) != n_dup:
+            raise ValueError(
+                f"channels has {len(channels)} entries for {n_dup} dups"
+            )
         self.world = world
         self.p = p
         self.n_dup = n_dup
+        self.channels = None if channels is None else tuple(channels)
         self.global_comm = world.new_comm(range(p * p), "mesh2d.global")
         self._row = {}
         self._col = {}
         for i in range(p):
             ranks = [self.rank_of(i, j) for j in range(p)]
-            base = world.new_comm(ranks, f"row[{i}]")
-            self._row[i] = [base] + base.dup_many(n_dup - 1) if n_dup > 1 else [base]
+            self._row[i] = self._dup_family(ranks, f"row[{i}]")
         for j in range(p):
             ranks = [self.rank_of(i, j) for i in range(p)]
-            base = world.new_comm(ranks, f"col[{j}]")
-            self._col[j] = [base] + base.dup_many(n_dup - 1) if n_dup > 1 else [base]
+            self._col[j] = self._dup_family(ranks, f"col[{j}]")
+
+    def _dup_family(self, ranks, name: str) -> list[Comm]:
+        """``n_dup`` congruent comms, each optionally pinned to a channel.
+
+        The colored pipelined-multicast kernels pass ``channels`` so that
+        duplicate ``c``'s broadcasts ride fabric lane ``channels[c]``,
+        keeping successive panels' transfers on disjoint link resources.
+        """
+        ch = self.channels
+        base = self.world.new_comm(ranks, name,
+                                   channel=0 if ch is None else ch[0])
+        if self.n_dup == 1:
+            return [base]
+        return [base] + base.dup_many(
+            self.n_dup - 1, channels=None if ch is None else ch[1:]
+        )
 
     @property
     def num_ranks(self) -> int:

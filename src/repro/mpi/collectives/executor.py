@@ -67,6 +67,7 @@ class ScheduleRunner:
         self.itemsize = int(itemsize)
         self.blocking = blocking
         self.label = label
+        self._channel = comm.channel  # fabric lane of every round's sends
         # Static event name ("coll" surfaces only in engine error messages);
         # the per-op progress labels are precomputed once per runner.
         self.done: SimEvent = world.engine.event("coll")
@@ -184,7 +185,8 @@ class ScheduleRunner:
                 else:
                     data = buf[lo:hi]  # zero-copy view: provably alias-free
                 req = transport.post_send(
-                    cid, self.me_global, peer_global, self.tag, nbytes, data
+                    cid, self.me_global, peer_global, self.tag, nbytes, data,
+                    self._channel,
                 )
                 self._track(req.done, None, lo, hi)
             elif kind == "copy":

@@ -38,7 +38,7 @@ from repro.sim.trace import SpanKind
 class Comm:
     """A process group + communication context (compare ``MPI_Comm``)."""
 
-    def __init__(self, world, ranks, name: str = "comm"):
+    def __init__(self, world, ranks, name: str = "comm", channel: int = 0):
         ranks = tuple(int(r) for r in ranks)
         if len(set(ranks)) != len(ranks):
             raise ValueError("duplicate ranks in communicator group")
@@ -47,9 +47,17 @@ class Comm:
         for r in ranks:
             if not 0 <= r < world.num_ranks:
                 raise ValueError(f"rank {r} outside world of {world.num_ranks}")
+        if channel and not 0 <= channel < world.params.num_channels:
+            raise ValueError(
+                f"channel {channel} outside [0, {world.params.num_channels}) "
+                f"— raise NetworkParams.num_channels to use it"
+            )
         self.world = world
         self.ranks = ranks
         self.name = name
+        # Virtual lane: every wire transfer this communicator's operations
+        # post (p2p and collective rounds alike) rides this fabric channel.
+        self.channel = channel
         self.cid = world._next_cid()
         self._local_of = {g: i for i, g in enumerate(ranks)}
         # Per-local-rank collective sequence numbers.  MPI requires all ranks
@@ -72,15 +80,33 @@ class Comm:
     def contains(self, global_rank: int) -> bool:
         return global_rank in self._local_of
 
-    def dup(self, name: str | None = None) -> "Comm":
-        """A congruent communicator with a fresh context (``MPI_Comm_dup``)."""
-        return Comm(self.world, self.ranks, name or f"{self.name}.dup")
+    def dup(self, name: str | None = None,
+            channel: int | None = None) -> "Comm":
+        """A congruent communicator with a fresh context (``MPI_Comm_dup``).
 
-    def dup_many(self, n_dup: int) -> list["Comm"]:
-        """``n_dup`` duplicates — the N_DUP communicator copies of Alg. 2/5."""
+        ``channel`` pins the duplicate to a fabric lane; ``None`` inherits
+        this communicator's lane.
+        """
+        return Comm(self.world, self.ranks, name or f"{self.name}.dup",
+                    channel=self.channel if channel is None else channel)
+
+    def dup_many(self, n_dup: int, channels=None) -> list["Comm"]:
+        """``n_dup`` duplicates — the N_DUP communicator copies of Alg. 2/5.
+
+        ``channels`` optionally assigns one fabric lane per duplicate (the
+        pipelined-multicast kernels' disjoint color channels).
+        """
         if n_dup < 1:
             raise ValueError(f"n_dup must be >= 1, got {n_dup}")
-        return [self.dup(f"{self.name}.dup{i}") for i in range(n_dup)]
+        if channels is not None and len(channels) != n_dup:
+            raise ValueError(
+                f"channels has {len(channels)} entries for {n_dup} dups"
+            )
+        return [
+            self.dup(f"{self.name}.dup{i}",
+                     channel=None if channels is None else channels[i])
+            for i in range(n_dup)
+        ]
 
     def sub(self, ranks, name: str = "sub") -> "Comm":
         """Communicator over a subset of this group (global rank list)."""
@@ -204,7 +230,8 @@ class CommView:
             self._trace_post(t0, f"isend->l{dest}")
         utag = _user_tag(tag)
         req = self.world.transport.post_send(
-            self.comm.cid, self.gr, self.comm.ranks[dest], utag, nbytes, data
+            self.comm.cid, self.gr, self.comm.ranks[dest], utag, nbytes, data,
+            self.comm.channel,
         )
         verifier = getattr(self.world, "verifier", None)
         if verifier is not None:

@@ -45,15 +45,16 @@ from repro.sim.trace import SpanKind
 
 class _SendState:
     __slots__ = ("src", "dst", "nbytes", "data", "eager", "request", "arrived",
-                 "recv", "attempt", "rec_post", "rec_arr")
+                 "recv", "attempt", "rec_post", "rec_arr", "channel")
 
-    def __init__(self, src, dst, nbytes, data, eager, request):
+    def __init__(self, src, dst, nbytes, data, eager, request, channel=0):
         self.src = src
         self.dst = dst
         self.nbytes = nbytes
         self.data = data
         self.eager = eager
         self.request = request
+        self.channel = channel     # fabric lane of the payload transfer
         self.arrived = False       # eager payload landed before recv posted
         self.recv: Request | None = None
         self.attempt = 0           # dropped-transmission retry counter
@@ -89,12 +90,15 @@ class Transport:
         tag: int,
         nbytes: int,
         data: Any = None,
+        channel: int = 0,
     ) -> Request:
         """Post a send of ``nbytes`` from global rank ``src`` to ``dst``.
 
         Returns a request completing per the protocol rules above.  ``data``
         is an arbitrary payload delivered to the matching receive (``None``
-        in modeled-size-only runs).
+        in modeled-size-only runs).  ``channel`` selects the fabric lane the
+        payload transfer shares bandwidth on (matching is channel-blind —
+        the communicator id already isolates envelopes).
         """
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
@@ -106,7 +110,7 @@ class Transport:
         if label is None:
             label = self._send_labels[dst] = f"send->r{dst}"
         req = Request(self.world, src, label, done)
-        state = _SendState(src, dst, nbytes, data, eager, req)
+        state = _SendState(src, dst, nbytes, data, eager, req, channel)
         rec = self._engine.recorder
         if rec is not None:
             ctx = self._engine._rec_ctx
@@ -206,13 +210,13 @@ class Transport:
         if state.eager:
             world.fabric.transfer_cb(
                 state.src, state.dst, state.nbytes, 0.0,
-                self._eager_arrived, state,
+                self._eager_arrived, state, channel=state.channel,
             )
         else:
             world.fabric.transfer_cb(
                 state.src, state.dst, state.nbytes,
                 self._params.rendezvous_extra,
-                self._rendezvous_done, state,
+                self._rendezvous_done, state, channel=state.channel,
             )
 
     def _eager_arrived(self, state: _SendState) -> None:

@@ -120,9 +120,13 @@ class World:
     def flop_rate_of(self, global_rank: int) -> float:
         return self._flop_rate[global_rank]
 
-    def new_comm(self, ranks, name: str = "comm") -> Comm:
-        """Create a communicator over ``ranks`` (global ids)."""
-        return Comm(self, ranks, name)
+    def new_comm(self, ranks, name: str = "comm", channel: int = 0) -> Comm:
+        """Create a communicator over ``ranks`` (global ids).
+
+        ``channel`` pins the communicator's wire traffic to a fabric lane
+        (see :class:`~repro.netmodel.NetworkParams.num_channels`).
+        """
+        return Comm(self, ranks, name, channel=channel)
 
     # -- running ---------------------------------------------------------------------
 

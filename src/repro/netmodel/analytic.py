@@ -247,6 +247,60 @@ def estimate_ssc_time(
     return t_comp + t_comm + t_post
 
 
+def estimate_summa_time(
+    n: int,
+    p: int,
+    algorithm: str = "plain",
+    colors: int = 1,
+    depth: int = 1,
+    ppn: int = 1,
+    collective: str = "auto",
+    params: NetworkParams | None = None,
+    machine: MachineParams | None = None,
+) -> float:
+    """Modeled per-call time of the SUMMA family — tuner stage 1.
+
+    ``p`` panels, each one row broadcast + one column broadcast of a
+    ``(n/p)^2`` block followed by the panel GEMM.  ``plain`` serializes
+    everything and pays the blocking per-round gap; the pipelined variants
+    keep a ``depth``-panel ``Ibcast`` window in flight, so the steady state
+    runs at ``max(gemm, comm)`` per panel with in-flight transfers either
+    fair-sharing one lane (``streaming`` — concurrent flows aggregate
+    toward the NIC peak) or riding disjoint ``1/colors``-capacity lanes
+    (``colored`` — full aggregation while the window is color-covered, but
+    fill/drain panels run alone on a fractional lane).
+    """
+    params = params or NetworkParams()
+    machine = machine or MachineParams()
+    t_gemm = 2.0 * (n / p) ** 3 / machine.process_flops(ppn)
+    if p == 1:
+        return t_gemm
+    block_bytes = (n / p) ** 2 * 8.0
+    alpha = params.alpha
+    bw = effective_collective_bandwidth(block_bytes, p, ppn, params)
+    beta = 1.0 / bw
+    bc_l, bc_w = _collective_terms(block_bytes, p, collective, "bcast",
+                                   alpha, beta)
+    if algorithm == "plain":
+        gaps = 0.0
+        if block_bytes / p > params.rendezvous_threshold:
+            gaps = 2.0 * math.ceil(math.log2(p)) * params.blocking_round_gap
+        return p * (2.0 * (bc_l + bc_w) + gaps + t_gemm)
+    window = min(max(depth, 1), p)
+    if colors > 1:
+        agg = min(window, colors) * params.nic_bandwidth / colors
+    else:
+        agg = min(window * bw, params.nic_bandwidth)
+    boost = max(1.0, agg / bw)
+    t_fill = 2.0 * bc_l + 2.0 * bc_w / boost
+    t_steady = max(t_gemm, 2.0 * bc_l / window + 2.0 * bc_w / boost)
+    t = t_fill + p * t_steady
+    if colors > 1:
+        # Drain: the last panels run alone on a 1/colors-capacity lane.
+        t += (1.0 - 1.0 / colors) * 2.0 * bc_w
+    return t
+
+
 def estimate_ssc25d_time(
     n: int,
     q: int,

@@ -69,7 +69,7 @@ import heapq
 
 import numpy as np
 
-from repro.netmodel.params import NetworkParams
+from repro.netmodel.params import MAX_CHANNELS, NetworkParams
 from repro.netmodel.topology import Cluster
 from repro.sim.engine import _COMPACT_MIN, Engine, SimEvent
 from repro.sim.faults import FaultPlan
@@ -78,11 +78,17 @@ from repro.sim.trace import SpanKind, Trace
 _EPS_BYTES = 1e-6
 _INF = float("inf")
 
-# Resource keys are packed ints — ``(ident << 2) | kind`` — so the hot dict
-# operations (share cache hits, dirty marks, membership updates) hash a small
-# int instead of a (str, int) tuple.  ``ident`` is a node index for tx/rx/shm
-# and a rank for px.
+# Resource keys are packed ints — ``(((ident << 2) | kind) << 3) | channel``
+# — so the hot dict operations (share cache hits, dirty marks, membership
+# updates) hash a small int instead of a (str, int, int) tuple.  ``ident`` is
+# a node index for tx/rx/shm and a rank for px; ``channel`` is the virtual
+# lane (3 bits, see :data:`repro.netmodel.params.MAX_CHANNELS`).  With
+# ``num_channels=1`` every key has channel bits 0, so the packed values are
+# simply 8x the pre-channel keys — same hashing, same uniqueness, same
+# deterministic orderings.
 _K_TX, _K_RX, _K_PX, _K_SHM = 0, 1, 2, 3
+_CH_BITS = 3
+assert MAX_CHANNELS <= 1 << _CH_BITS
 
 #: ``solver="auto"`` switches to the vectorized fair-share pass at this many
 #: merged flows per recompute; below it the scalar loop's lower constant
@@ -164,7 +170,7 @@ class _ShareCache(dict):
         if not fset:
             share = _INF
         else:
-            kind = key & 3
+            kind = (key >> _CH_BITS) & 3
             params = fab.params
             if kind == _K_SHM:
                 total = params.shm_bandwidth
@@ -175,8 +181,15 @@ class _ShareCache(dict):
                 faults = fab.faults
                 if faults is not None:
                     total *= faults.bandwidth_factor(
-                        "tx" if kind == _K_TX else "rx", key >> 2, fab.engine.now
+                        "tx" if kind == _K_TX else "rx",
+                        key >> (_CH_BITS + 2), fab.engine.now,
                     )
+            # Virtual lane: this channel owns its capacity fraction.  The
+            # single-channel fraction is exactly 1.0, so the scaling is
+            # skipped and the division below is the unsplit model's.
+            frac = fab._ch_frac[key & 7]
+            if frac != 1.0:
+                total *= frac
             share = total / len(fset)
         self[key] = share
         return share
@@ -189,6 +202,25 @@ class Fabric:
     fires when the last byte arrives.  The fabric also accumulates the
     inter-node / intra-node byte counters used by the Table IV experiment.
     """
+
+    # Class-level per-channel traffic aggregates, mirroring
+    # Engine._agg_* : worker processes of a ``--jobs N`` grid sweep report
+    # these via ``aggregate_stats()`` so the harness can merge per-channel
+    # byte/flow counters byte-identically to a serial run.
+    _agg_channel_bytes: list = [0.0] * MAX_CHANNELS
+    _agg_channel_messages: list = [0] * MAX_CHANNELS
+
+    @classmethod
+    def reset_aggregate_stats(cls) -> None:
+        cls._agg_channel_bytes = [0.0] * MAX_CHANNELS
+        cls._agg_channel_messages = [0] * MAX_CHANNELS
+
+    @classmethod
+    def aggregate_stats(cls) -> dict:
+        return {
+            "channel_bytes": list(cls._agg_channel_bytes),
+            "channel_messages": list(cls._agg_channel_messages),
+        }
 
     def __init__(
         self,
@@ -229,17 +261,39 @@ class Fabric:
         # both are kept.
         drop_tx = faults is None and p.process_injection_bandwidth < p.nic_bandwidth
         drop_px = faults is None and p.process_injection_bandwidth >= p.nic_bandwidth
-        self._rx_key = tuple((n << 2) | _K_RX for n in placement)
-        self._shm_res = tuple(((n << 2) | _K_SHM,) for n in placement)
-        src_pfx = []
-        for r, n in enumerate(placement):
-            if nranks_on[n] == 1 and drop_tx:
-                src_pfx.append(((r << 2) | _K_PX,))
-            elif nranks_on[n] == 1 and drop_px:
-                src_pfx.append(((n << 2) | _K_TX,))
-            else:
-                src_pfx.append(((n << 2) | _K_TX, (r << 2) | _K_PX))
-        self._src_pfx = tuple(src_pfx)
+        # The channel split applies the same fraction to every resource kind,
+        # so the single-rank-node tx/px dominance argument holds lane by lane
+        # and the key tables are simply replicated per channel.
+        nch = p.num_channels
+        self._nch = nch
+        self._ch_frac = p.channel_fractions()
+        rx_keys, shm_ress, src_pfxs = [], [], []
+        for ch in range(nch):
+            rx_keys.append(tuple(
+                (((n << 2) | _K_RX) << _CH_BITS) | ch for n in placement
+            ))
+            shm_ress.append(tuple(
+                ((((n << 2) | _K_SHM) << _CH_BITS) | ch,) for n in placement
+            ))
+            src_pfx = []
+            for r, n in enumerate(placement):
+                tx = (((n << 2) | _K_TX) << _CH_BITS) | ch
+                px = (((r << 2) | _K_PX) << _CH_BITS) | ch
+                if nranks_on[n] == 1 and drop_tx:
+                    src_pfx.append((px,))
+                elif nranks_on[n] == 1 and drop_px:
+                    src_pfx.append((tx,))
+                else:
+                    src_pfx.append((tx, px))
+            src_pfxs.append(tuple(src_pfx))
+        self._rx_keys = tuple(rx_keys)
+        self._shm_ress = tuple(shm_ress)
+        self._src_pfxs = tuple(src_pfxs)
+        # Channel-0 aliases keep the hot path one indexing step shorter for
+        # the (overwhelmingly common) default-channel transfer.
+        self._rx_key = self._rx_keys[0]
+        self._shm_res = self._shm_ress[0]
+        self._src_pfx = self._src_pfxs[0]
         self.trace = trace
         self.faults = faults
         if faults is not None:
@@ -265,6 +319,9 @@ class Fabric:
         self.intra_node_bytes = 0.0
         self.inter_node_messages = 0
         self.intra_node_messages = 0
+        # Per-channel traffic counters (instance + process-wide aggregate).
+        self.channel_bytes = [0.0] * nch
+        self.channel_messages = [0] * nch
         # Busy-time integral of the union of active inter-node flows.
         self._active_inter = 0
         self._busy_since = 0.0
@@ -273,17 +330,20 @@ class Fabric:
     # -- public API -----------------------------------------------------------
 
     def transfer(
-        self, src_rank: int, dst_rank: int, nbytes: float, extra_latency: float = 0.0
+        self, src_rank: int, dst_rank: int, nbytes: float,
+        extra_latency: float = 0.0, channel: int = 0,
     ) -> SimEvent:
         """Start moving ``nbytes`` from ``src_rank`` to ``dst_rank``.
 
         Returns an event that fires when delivery completes.  ``extra_latency``
         adds protocol costs (e.g. a rendezvous handshake) ahead of the wire
         latency.  A transfer between co-located ranks rides the node's
-        shared-memory path.
+        shared-memory path.  ``channel`` selects the virtual lane the flow's
+        bandwidth shares come from (see ``NetworkParams.num_channels``).
         """
         done = self.engine.event("flow")
-        self.transfer_cb(src_rank, dst_rank, nbytes, extra_latency, done.succeed)
+        self.transfer_cb(src_rank, dst_rank, nbytes, extra_latency,
+                         done.succeed, channel=channel)
         return done
 
     def transfer_cb(
@@ -294,6 +354,7 @@ class Fabric:
         extra_latency: float,
         done_cb,
         *done_args,
+        channel: int = 0,
     ) -> None:
         """Like :meth:`transfer`, but invokes ``done_cb(*done_args)`` on
         delivery instead of allocating a :class:`SimEvent` — the transport
@@ -312,18 +373,35 @@ class Fabric:
                 src_node, dst_node, self.engine.now
             )
         self._next_fid += 1
+        if channel:  # non-default lane: validate once, per-channel key tables
+            if not 0 <= channel < self._nch:
+                raise ValueError(
+                    f"channel {channel} outside [0, {self._nch}) — the fabric "
+                    f"has num_channels={self._nch}"
+                )
+            shm_res = self._shm_ress[channel]
+            src_pfx = self._src_pfxs[channel]
+            rx_key = self._rx_keys[channel]
+        else:
+            shm_res = self._shm_res
+            src_pfx = self._src_pfx
+            rx_key = self._rx_key
         if src_node == dst_node:
             latency = p.shm_alpha + extra_latency
             cap = p.shm_cap(nbytes)
-            resources = self._shm_res[src_rank]
+            resources = shm_res[src_rank]
             self.intra_node_bytes += nbytes
             self.intra_node_messages += 1
         else:
             latency = p.alpha + extra_latency
             cap = p.flow_cap(nbytes)
-            resources = self._src_pfx[src_rank] + (self._rx_key[dst_rank],)
+            resources = src_pfx[src_rank] + (rx_key[dst_rank],)
             self.inter_node_bytes += nbytes
             self.inter_node_messages += 1
+        self.channel_bytes[channel] += nbytes
+        self.channel_messages[channel] += 1
+        Fabric._agg_channel_bytes[channel] += nbytes
+        Fabric._agg_channel_messages[channel] += 1
         flow = Flow(
             self._next_fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap,
             done_cb, done_args,
@@ -334,6 +412,11 @@ class Fabric:
         if rec is not None:
             if self.faults is not None:
                 rec.invalidate("fault plan attached to the fabric")
+            if channel:
+                # The recorded graph has no channel dimension: a replay
+                # would re-drive this flow on lane 0 and reshape every
+                # shared rate.
+                rec.invalidate("multi-channel flow")
             post = engine._rec_ctx
             if post is None:
                 post = rec.const(engine.now)
@@ -363,7 +446,12 @@ class Fabric:
             engine._rec_suspend = False
 
     def snapshot_stats(self) -> dict:
-        """Current transfer counters (bytes are cumulative since creation)."""
+        """Current transfer counters (bytes are cumulative since creation).
+
+        ``channel_bytes`` / ``channel_messages`` split the same traffic per
+        virtual lane (length ``num_channels``; with one channel the single
+        entry equals the inter+intra totals).
+        """
         return {
             "inter_node_bytes": self.inter_node_bytes,
             "intra_node_bytes": self.intra_node_bytes,
@@ -373,6 +461,8 @@ class Fabric:
             + (
                 (self.engine.now - self._busy_since) if self._active_inter > 0 else 0.0
             ),
+            "channel_bytes": list(self.channel_bytes),
+            "channel_messages": list(self.channel_messages),
         }
 
     # -- internals --------------------------------------------------------------

@@ -55,6 +55,11 @@ from dataclasses import dataclass, field, replace
 
 from repro.util import GB, KIB, MB, check_nonnegative, check_positive
 
+#: Hard ceiling on ``NetworkParams.num_channels`` — the fabric packs the
+#: channel index into 3 bits of its resource keys (see
+#: :mod:`repro.netmodel.fabric`), and no modeled NIC splits further anyway.
+MAX_CHANNELS = 8
+
 
 @dataclass
 class NetworkParams:
@@ -87,6 +92,15 @@ class NetworkParams:
     blocking_round_gap: float = 25.0e-6       # per-round sync gap, blocking [s]
     long_message_threshold: int = 16 * KIB    # binomial vs long-message algos
 
+    # --- virtual lanes (channels) ---------------------------------------------
+    # Every link resource (tx/rx/px/shm) is split into ``num_channels``
+    # independently fair-shared lanes.  ``channel_split`` gives each lane's
+    # capacity fraction (normalized; ``None`` = equal split).  Flows carry a
+    # channel index (see Fabric.transfer); with the default of one channel
+    # the model is exactly the unsplit link of the paper's measurements.
+    num_channels: int = 1
+    channel_split: tuple[float, ...] | None = None
+
     def __post_init__(self) -> None:
         check_positive("nic_bandwidth", self.nic_bandwidth)
         check_positive("process_injection_bandwidth", self.process_injection_bandwidth)
@@ -107,6 +121,21 @@ class NetworkParams:
         check_nonnegative("blocking_round_gap", self.blocking_round_gap)
         if self.rendezvous_threshold < 0:
             raise ValueError("rendezvous_threshold must be >= 0")
+        check_positive("num_channels", self.num_channels)
+        if self.num_channels > MAX_CHANNELS:
+            raise ValueError(
+                f"num_channels must be <= {MAX_CHANNELS}, got {self.num_channels}"
+            )
+        if self.channel_split is not None:
+            split = tuple(float(f) for f in self.channel_split)
+            if len(split) != self.num_channels:
+                raise ValueError(
+                    f"channel_split has {len(split)} entries for "
+                    f"{self.num_channels} channels"
+                )
+            if any(f <= 0.0 for f in split):
+                raise ValueError(f"channel_split entries must be > 0: {split}")
+            self.channel_split = split
 
     # -- derived quantities ----------------------------------------------------
 
@@ -130,6 +159,18 @@ class NetworkParams:
     def beta(self) -> float:
         """Transfer seconds per byte at peak NIC bandwidth (paper's beta)."""
         return 1.0 / self.nic_bandwidth
+
+    def channel_fractions(self) -> tuple[float, ...]:
+        """Normalized per-channel capacity fractions (sum exactly 1.0).
+
+        With one channel this is ``(1.0,)`` and the fabric skips the lane
+        scaling entirely, keeping the single-channel arithmetic bit-for-bit
+        identical to the unsplit model.
+        """
+        if self.channel_split is None:
+            return (1.0 / self.num_channels,) * self.num_channels
+        total = sum(self.channel_split)
+        return tuple(f / total for f in self.channel_split)
 
     def replace(self, **kw) -> "NetworkParams":
         """Return a copy with some fields overridden (ablation helper)."""

@@ -41,11 +41,13 @@ from repro.tune.signature import (
     fabric_hash,
     signature_for_ssc,
     signature_for_ssc25d,
+    signature_for_summa,
 )
 from repro.tune.validity import (
     min_block_elems,
     validate_ssc25d_config,
     validate_ssc_config,
+    validate_summa_config,
 )
 
 #: Names resolved lazily (PEP 562) because their modules import the kernels.
@@ -63,9 +65,10 @@ _LAZY = {
 __all__ = [
     # signature
     "WorkloadSignature", "fabric_hash", "signature_for_ssc",
-    "signature_for_ssc25d",
+    "signature_for_ssc25d", "signature_for_summa",
     # validity
     "min_block_elems", "validate_ssc_config", "validate_ssc25d_config",
+    "validate_summa_config",
     # candidates
     "Candidate", "enumerate_candidates", "paper_default_candidate",
     "apply_collective", "n_dup_choices",

@@ -36,8 +36,11 @@ from repro.netmodel.params import MachineParams, NetworkParams
 from repro.tune.signature import WorkloadSignature
 from repro.tune.validity import (
     SSC_ALGORITHMS,
+    SUMMA_ALGORITHMS,
+    SUMMA_COLOR_CHOICES,
     validate_ssc25d_config,
     validate_ssc_config,
+    validate_summa_config,
 )
 
 #: N_DUP candidates are the divisors of this pipeline-parts budget ...
@@ -48,6 +51,9 @@ MAX_N_DUP = 8
 PPN_CHOICES = (1, 2, 4, 6, 8)
 #: Collective-algorithm override choices.
 COLLECTIVE_CHOICES = ("auto", "binomial", "long")
+#: Pre-posted broadcast-window depths swept for the pipelined SUMMA
+#: variants (``depth=1`` only validates for streaming).
+SUMMA_DEPTH_CHOICES = (1, 2, 4)
 
 #: A threshold above every realistic message forces binomial schedules ...
 _FORCE_BINOMIAL_THRESHOLD = 2 ** 62
@@ -85,25 +91,33 @@ def apply_collective(params: NetworkParams, collective: str) -> NetworkParams:
 class Candidate:
     """One fully-specified kernel configuration."""
 
-    kernel: str                   #: "ssc" or "ssc25d"
-    algorithm: str                #: SSC variant, or "ssc25d" for Alg. 6
+    kernel: str                   #: "ssc", "ssc25d" or "summa"
+    algorithm: str                #: SSC/SUMMA variant, or "ssc25d" for Alg. 6
     mesh: tuple[int, int, int]    #: (pi, pj, pk); pk is the 2.5D ``c``
-    n_dup: int
+    n_dup: int                    #: N_DUP (SSC) / color count (SUMMA)
     ppn: int
     collective: str = "auto"
+    #: Pre-posted broadcast-window depth of the pipelined SUMMA variants.
+    #: Kept out of ``key``/``as_dict`` at the default so every pre-existing
+    #: ssc/ssc25d key and serialized record is byte-identical (no
+    #: ``DB_SCHEMA`` bump).
+    depth: int = 1
 
     @property
     def key(self) -> str:
         """Stable short id used in decision traces and tables."""
         pi, pj, pk = self.mesh
-        return (
+        base = (
             f"{self.algorithm}:m{pi}x{pj}x{pk}:nd{self.n_dup}"
             f":ppn{self.ppn}:{self.collective}"
         )
+        if self.depth != 1:
+            base += f":t{self.depth}"
+        return base
 
     def as_dict(self) -> dict:
         """JSON-ready representation."""
-        return {
+        d = {
             "kernel": self.kernel,
             "algorithm": self.algorithm,
             "mesh": list(self.mesh),
@@ -111,6 +125,9 @@ class Candidate:
             "ppn": self.ppn,
             "collective": self.collective,
         }
+        if self.depth != 1:
+            d["depth"] = self.depth
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "Candidate":
@@ -118,6 +135,7 @@ class Candidate:
             kernel=d["kernel"], algorithm=d["algorithm"],
             mesh=tuple(int(x) for x in d["mesh"]), n_dup=int(d["n_dup"]),
             ppn=int(d["ppn"]), collective=d.get("collective", "auto"),
+            depth=int(d.get("depth", 1)),
         )
 
     def validate(self, n: int) -> None:
@@ -127,6 +145,9 @@ class Candidate:
             validate_ssc_config(pi, n, self.algorithm, self.n_dup, self.ppn)
         elif self.kernel == "ssc25d":
             validate_ssc25d_config(pi, pk, n, self.n_dup, self.ppn)
+        elif self.kernel == "summa":
+            validate_summa_config(pi, n, self.algorithm, self.n_dup,
+                                  self.depth, self.ppn)
         else:
             raise ValueError(f"unknown kernel {self.kernel!r}")
 
@@ -178,6 +199,26 @@ def enumerate_candidates(
                             mesh=(p, p, p), n_dup=n_dup, ppn=ppn,
                             collective=collective,
                         ))
+    elif sig.kernel == "summa":
+        p = sig.mesh[0]
+        for algorithm in SUMMA_ALGORITHMS:
+            color_choices = (SUMMA_COLOR_CHOICES if algorithm == "colored"
+                             else (1,))
+            depth_choices = (1,) if algorithm == "plain" else SUMMA_DEPTH_CHOICES
+            for colors in color_choices:
+                for depth in depth_choices:
+                    for ppn in _ppn_choices(machine):
+                        for collective in collectives:
+                            try:
+                                validate_summa_config(p, sig.n, algorithm,
+                                                      colors, depth, ppn)
+                            except ValueError:
+                                continue
+                            cands.append(Candidate(
+                                kernel="summa", algorithm=algorithm,
+                                mesh=(p, p, 1), n_dup=colors, ppn=ppn,
+                                collective=collective, depth=depth,
+                            ))
     elif sig.kernel == "ssc25d":
         for mesh in meshes_25d(sig.ranks):
             q, _q, c = mesh
@@ -203,8 +244,9 @@ def paper_default_candidate(sig: WorkloadSignature) -> Candidate:
 
     3D kernel: Algorithm 5 with ``N_DUP = 4`` ("the results justify our
     choice of using N_DUP = 4") at the signature's requested PPN; 2.5D:
-    the requested mesh with ``N_DUP = 1``.  ``N_DUP`` is clamped by the
-    validity rules for tiny blocks.
+    the requested mesh with ``N_DUP = 1``; SUMMA: the textbook blocking
+    ``plain`` variant.  ``N_DUP`` is clamped by the validity rules for
+    tiny blocks.
     """
     from repro.tune.validity import min_block_elems
 
@@ -213,5 +255,9 @@ def paper_default_candidate(sig: WorkloadSignature) -> Candidate:
         n_dup = min(4, min_block_elems(sig.n, p))
         return Candidate(kernel="ssc", algorithm="optimized",
                          mesh=(p, p, p), n_dup=n_dup, ppn=sig.ppn)
+    if sig.kernel == "summa":
+        p = sig.mesh[0]
+        return Candidate(kernel="summa", algorithm="plain", mesh=(p, p, 1),
+                         n_dup=1, ppn=sig.ppn)
     return Candidate(kernel="ssc25d", algorithm="ssc25d", mesh=sig.mesh,
                      n_dup=1, ppn=sig.ppn)

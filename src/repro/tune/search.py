@@ -27,9 +27,14 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.dense.summa import run_summa
 from repro.kernels.ssc25d import run_ssc25d
 from repro.kernels.symmsquarecube import run_ssc
-from repro.netmodel.analytic import estimate_ssc25d_time, estimate_ssc_time
+from repro.netmodel.analytic import (
+    estimate_ssc25d_time,
+    estimate_ssc_time,
+    estimate_summa_time,
+)
 from repro.netmodel.params import MachineParams, NetworkParams
 from repro.sim.engine import DeadlineExceeded
 from repro.sim.replay import ReplayInvalid, replay_kernel
@@ -69,6 +74,12 @@ def model_time(sig: WorkloadSignature, cand: Candidate,
             sig.n, cand.mesh[0], cand.algorithm, cand.n_dup, cand.ppn,
             collective=cand.collective, params=params, machine=machine,
         )
+    if cand.kernel == "summa":
+        return estimate_summa_time(
+            sig.n, cand.mesh[0], cand.algorithm, cand.n_dup, cand.depth,
+            cand.ppn, collective=cand.collective, params=params,
+            machine=machine,
+        )
     q, _q, c = cand.mesh
     return estimate_ssc25d_time(
         sig.n, q, c, cand.n_dup, cand.ppn,
@@ -93,6 +104,19 @@ def simulate_candidate(sig: WorkloadSignature, cand: Candidate,
     the recording is ``None``-safe but may be invalid (check ``.valid``).
     """
     eff = apply_collective(params or NetworkParams(), cand.collective)
+    if cand.kernel == "summa":
+        if cand.algorithm == "colored" and eff.num_channels < cand.n_dup:
+            # The colored variant needs one fabric lane per color; scoring
+            # it IS scoring that fabric configuration.
+            eff = eff.replace(num_channels=cand.n_dup)
+        res = run_summa(
+            cand.mesh[0], sig.n, algorithm=cand.algorithm, colors=cand.n_dup,
+            depth=cand.depth, ppn=cand.ppn, params=eff, machine=machine,
+            deadline=deadline, record=record,
+        )
+        if record:
+            return res.elapsed, res.world.engine.now, res.recording
+        return res.elapsed, res.world.engine.now
     if cand.kernel == "ssc":
         res = run_ssc(
             cand.mesh[0], sig.n, cand.algorithm, n_dup=cand.n_dup,

@@ -47,7 +47,7 @@ def fabric_hash(params: NetworkParams | None,
 class WorkloadSignature:
     """Immutable description of one tunable workload."""
 
-    kernel: str          #: "ssc" (Algs. 3-5) or "ssc25d" (Alg. 6)
+    kernel: str          #: "ssc" (Algs. 3-5), "ssc25d" (Alg. 6) or "summa"
     n: int               #: matrix dimension
     ranks: int           #: total process count (fixed by the caller)
     mesh: tuple[int, int, int]  #: requested mesh shape (pi, pj, pk)
@@ -56,7 +56,7 @@ class WorkloadSignature:
     fabric: str          #: :func:`fabric_hash` of the fabric constants
 
     def __post_init__(self) -> None:
-        if self.kernel not in ("ssc", "ssc25d"):
+        if self.kernel not in ("ssc", "ssc25d", "summa"):
             raise ValueError(f"unknown kernel {self.kernel!r}")
         if self.n < 1 or self.ranks < 1 or self.ppn < 1:
             raise ValueError("n, ranks and ppn must all be >= 1")
@@ -105,6 +105,21 @@ def signature_for_ssc(p: int, n: int, *, ppn: int = 1,
     return WorkloadSignature(
         kernel="ssc", n=n, ranks=p ** 3, mesh=(p, p, p), ppn=max(ppn, 1),
         placement=placement, fabric=fabric_hash(params, machine),
+    )
+
+
+def signature_for_summa(p: int, n: int, *, ppn: int = 1,
+                        params: NetworkParams | None = None,
+                        machine: MachineParams | None = None,
+                        ) -> WorkloadSignature:
+    """Signature of a :func:`repro.dense.run_summa` workload (``p^2`` ranks).
+
+    The variant/colors/depth axes are candidate knobs, not signature axes
+    — one signature covers the whole SUMMA family on a given mesh.
+    """
+    return WorkloadSignature(
+        kernel="summa", n=n, ranks=p * p, mesh=(p, p, 1), ppn=max(ppn, 1),
+        placement="block", fabric=fabric_hash(params, machine),
     )
 
 

@@ -37,6 +37,7 @@ from repro.tune.signature import (
     WorkloadSignature,
     signature_for_ssc,
     signature_for_ssc25d,
+    signature_for_summa,
 )
 
 #: The policy vocabulary (see module docstring).
@@ -93,6 +94,19 @@ class Tuner:
         """Best configuration for a :func:`repro.kernels.run_ssc` workload."""
         sig = signature_for_ssc(p, n, ppn=ppn, placement=placement,
                                 params=params, machine=machine)
+        return self.tune(sig, params=params, machine=machine)
+
+    def autotune_summa(self, p: int, n: int, *, ppn: int = 1,
+                       params: NetworkParams | None = None,
+                       machine: MachineParams | None = None) -> TuningRecord:
+        """Best configuration for a :func:`repro.dense.run_summa` workload.
+
+        Sweeps the variant (plain / streaming / colored), the color count,
+        and the pre-posted broadcast-window depth; the paper default (and
+        incumbent seed) is the plain blocking variant.
+        """
+        sig = signature_for_summa(p, n, ppn=ppn, params=params,
+                                  machine=machine)
         return self.tune(sig, params=params, machine=machine)
 
     def autotune_ssc25d(self, q: int, c: int, n: int, *, ppn: int = 1,

@@ -14,9 +14,18 @@ the offending knob and the rule it broke.
 from __future__ import annotations
 
 from repro.mpi.collectives.plan import block_partition
+from repro.netmodel.params import MAX_CHANNELS
 
 #: The SymmSquareCube algorithm variants (paper Algorithms 3, 4, 5).
 SSC_ALGORITHMS = ("original", "baseline", "optimized")
+
+#: The SUMMA variants of :func:`repro.dense.run_summa`.
+SUMMA_ALGORITHMS = ("plain", "streaming", "colored")
+
+#: Color counts of the pipelined-multicast (colored) SUMMA variant: each
+#: color is one duplicated row/col communicator pinned to its own fabric
+#: lane, so successive panels' broadcasts never share a link resource.
+SUMMA_COLOR_CHOICES = (2, 4)
 
 #: Placement policies understood by :func:`repro.kernels.run_ssc`.
 PLACEMENTS = ("block", "round_robin")
@@ -82,6 +91,73 @@ def validate_ssc_config(p: int, n: int, algorithm: str, n_dup: int,
             f"{limit} element(s) for n={n}, p={p}; pipeline parts would be "
             f"empty messages"
         )
+
+
+def validate_summa_config(p: int, n: int, algorithm: str, colors: int,
+                          depth: int, ppn: int,
+                          num_channels: int | None = None) -> None:
+    """Validity rules for one SUMMA configuration.
+
+    * ``p``, ``ppn`` positive and ``n >= p`` (every block nonempty);
+    * ``algorithm`` one of :data:`SUMMA_ALGORITHMS`;
+    * ``depth`` (the pre-posted broadcast window) in ``[1, p]`` — panels
+      beyond ``p`` do not exist, so a deeper window never changes anything;
+    * ``plain`` is the blocking reference: ``colors == depth == 1``;
+    * ``streaming`` pipelines on a single lane: ``colors == 1``;
+    * ``colored`` needs ``colors`` in :data:`SUMMA_COLOR_CHOICES`, at most
+      ``p`` (panel ``l`` rides color ``l % colors``; extra colors would be
+      dead communicators), at most ``num_channels`` when the fabric's lane
+      count is known, and ``depth >= 2`` (a one-deep window never has two
+      panels in flight, so disjoint colors could not overlap anything).
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if n < p:
+        raise ValueError(f"n must be >= p, got n={n}, p={p}")
+    if ppn < 1:
+        raise ValueError(f"ppn must be >= 1, got {ppn}")
+    if algorithm not in SUMMA_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; pick from {sorted(SUMMA_ALGORITHMS)}"
+        )
+    if not 1 <= depth <= p:
+        raise ValueError(f"depth must be in [1, {p}], got {depth}")
+    if algorithm == "plain":
+        if colors != 1 or depth != 1:
+            raise ValueError(
+                f"plain SUMMA is the blocking reference: colors=1, depth=1 "
+                f"(got colors={colors}, depth={depth})"
+            )
+    elif algorithm == "streaming":
+        if colors != 1:
+            raise ValueError(
+                f"streaming SUMMA runs on one lane: colors=1, got {colors}"
+            )
+    else:  # colored
+        if colors not in SUMMA_COLOR_CHOICES:
+            raise ValueError(
+                f"colored SUMMA needs colors in {SUMMA_COLOR_CHOICES}, "
+                f"got {colors}"
+            )
+        if colors > p:
+            raise ValueError(
+                f"colors={colors} exceeds the {p} panels; extra colors would "
+                f"be dead communicators"
+            )
+        if colors > MAX_CHANNELS:
+            raise ValueError(
+                f"colors={colors} exceeds the fabric's {MAX_CHANNELS} lanes"
+            )
+        if num_channels is not None and colors > num_channels:
+            raise ValueError(
+                f"colors={colors} needs NetworkParams.num_channels >= "
+                f"{colors}, got {num_channels}"
+            )
+        if depth < 2:
+            raise ValueError(
+                "colored SUMMA needs depth >= 2: a one-deep window never "
+                "overlaps two panels, so the colors would be unused"
+            )
 
 
 def validate_ssc25d_config(q: int, c: int, n: int, n_dup: int,

@@ -195,7 +195,7 @@ class TestGridProtocol:
 
         mod = load_experiment("table2")
         points = mod.grid(quick=True)
-        idx, result, eng_stats, pc_stats = _run_grid_point(
+        idx, result, eng_stats, pc_stats, fab_stats = _run_grid_point(
             ("table2", 1, points[1], True)
         )
         assert idx == 1
@@ -205,6 +205,9 @@ class TestGridProtocol:
         # so every miss in the stats belongs to this point alone.
         assert pc_stats["misses"] > 0
         assert pc_stats["hits"] + pc_stats["misses"] > 0
+        # Single-channel workload: all fabric traffic on lane 0.
+        assert fab_stats["channel_messages"][0] > 0
+        assert not any(fab_stats["channel_messages"][1:])
 
     def test_grid_order_matches_table_order(self):
         mod = load_experiment("table2")

@@ -1,0 +1,93 @@
+"""Guard tests: a single-channel fabric must be bit-for-bit the old fabric.
+
+The multi-channel link model packs a channel index into every fabric
+resource key and splits link capacity across lanes.  With
+``num_channels=1`` (the default) all of that must be invisible: golden
+traces identical span for span, and the quick bench experiments' merged
+``sim_stats`` counters identical to the fixture captured before the
+channel layer existed (``tests/data/sim_stats_quick.json``).
+
+Regenerating the sim-stats fixture (only after an *intentional*
+event-structure change, with the diff reviewed)::
+
+    PYTHONPATH=src python tests/test_channels_guard.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.harness import run_experiment
+from repro.kernels.symmsquarecube import run_ssc
+from repro.netmodel.params import NetworkParams
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+SIM_STATS_FIXTURE = DATA_DIR / "sim_stats_quick.json"
+#: The experiments whose quick-mode sim_stats the fixture pins (one grid
+#: protocol sweep, one plain run — both merge paths covered).
+GUARDED_EXPERIMENTS = ("table1", "table2")
+#: sim_stats counter keys that predate the channel layer (the fixture's
+#: vocabulary; new keys like "fabric" are additions, never replacements).
+LEGACY_KEYS = ("events_processed", "events_cancelled", "peak_heap_size",
+               "heap_compactions")
+
+
+def _legacy_stats(sim_stats: dict) -> dict:
+    """The pre-channel subset of one experiment's ``sim_stats``."""
+    out = {k: sim_stats[k] for k in LEGACY_KEYS}
+    pc = sim_stats["plan_cache"]
+    out["plan_cache"] = {k: pc[k] for k in ("hits", "misses", "evictions",
+                                            "entries", "hit_rate")}
+    return out
+
+
+def test_single_channel_golden_trace_bit_identical():
+    """``num_channels=1`` spelled explicitly replays the committed trace."""
+    expected = json.loads((DATA_DIR / "golden_trace_ssc.json").read_text())
+    res = run_ssc(2, 8, "optimized", n_dup=2, ppn=2, iterations=1,
+                  trace=True, params=NetworkParams(num_channels=1))
+    actual = res.world.trace.to_jsonable()
+    for idx, (a, e) in enumerate(zip(actual, expected)):
+        assert a == e, f"trace diverges at span {idx}: {a} != {e}"
+    assert len(actual) == len(expected)
+
+
+def test_quick_experiment_sim_stats_match_prechannel_fixture():
+    """The merged quick sim_stats still carry the pre-channel counters."""
+    fixture = json.loads(SIM_STATS_FIXTURE.read_text())
+    assert sorted(fixture) == sorted(GUARDED_EXPERIMENTS)
+    for name in GUARDED_EXPERIMENTS:
+        out = run_experiment(name, quick=True)
+        assert _legacy_stats(out.sim_stats) == fixture[name], (
+            f"{name}: quick sim_stats drifted from the pre-channel fixture"
+        )
+
+
+def test_merged_sim_stats_gain_fabric_channel_counters():
+    """The new per-channel section rides along without touching the rest."""
+    out = run_experiment("table1", quick=True)
+    fab = out.sim_stats["fabric"]
+    # Single-channel workload: all traffic on lane 0, lanes 1..7 silent.
+    assert fab["channel_messages"][0] > 0
+    assert fab["channel_bytes"][0] > 0.0
+    assert not any(fab["channel_messages"][1:])
+    assert not any(fab["channel_bytes"][1:])
+
+
+def _regen() -> None:
+    fixture = {}
+    for name in GUARDED_EXPERIMENTS:
+        fixture[name] = _legacy_stats(run_experiment(name, quick=True).sim_stats)
+    SIM_STATS_FIXTURE.write_text(
+        json.dumps(fixture, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {SIM_STATS_FIXTURE}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        sys.exit("usage: test_channels_guard.py --regen")

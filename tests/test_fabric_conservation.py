@@ -94,6 +94,59 @@ FLOWS = st.lists(
     max_size=14,
 )
 
+N_CHANNELS = 4
+
+CHANNEL_FLOWS = st.lists(
+    st.tuples(
+        st.integers(0, RANKS - 1),               # src
+        st.integers(0, RANKS - 2),               # dst offset (never self)
+        st.integers(0, 4_000_000),               # bytes
+        st.floats(0, 0.02, allow_nan=False),     # start time
+        st.integers(0, N_CHANNELS - 1),          # channel
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+def drive_channels(flow_spec, faults=None, solver="scalar"):
+    """Like :func:`drive`, but each flow rides its spec's channel."""
+    eng = Engine()
+    fab = ProbeFabric(eng, block_placement(RANKS, PPN),
+                      NetworkParams(num_channels=N_CHANNELS),
+                      faults=faults, solver=solver)
+    finish_times = []
+    for (src, doff, nbytes, t0, channel) in flow_spec:
+        dst = (src + 1 + doff) % RANKS
+
+        def start(src=src, dst=dst, nbytes=nbytes, channel=channel):
+            ev = fab.transfer(src, dst, nbytes, channel=channel)
+            ev.add_callback(lambda _e: finish_times.append(eng.now))
+
+        eng.call_after(t0, start)
+    eng.run()
+    return eng, fab, finish_times
+
+
+def check_channels_conserved(fab, flow_spec, finish_times):
+    """Per-lane byte/message conservation on top of the global invariants."""
+    assert len(finish_times) == len(flow_spec)
+    posted_bytes = [0.0] * N_CHANNELS
+    posted_msgs = [0] * N_CHANNELS
+    for (_src, _doff, nbytes, _t0, channel) in flow_spec:
+        posted_bytes[channel] += nbytes
+        posted_msgs[channel] += 1
+    stats = fab.snapshot_stats()
+    assert stats["channel_bytes"] == posted_bytes
+    assert stats["channel_messages"] == posted_msgs
+    # The lanes partition exactly the traffic the global counters hold.
+    assert sum(stats["channel_bytes"]) == (fab.inter_node_bytes
+                                           + fab.intra_node_bytes)
+    assert sum(stats["channel_messages"]) == (fab.inter_node_messages
+                                              + fab.intra_node_messages)
+    assert fab._flows_at == {}
+    assert fab._dirty == {}
+
 WINDOWS = st.lists(
     st.tuples(
         st.integers(0, RANKS // PPN - 1),        # node
@@ -165,6 +218,36 @@ class TestConservation:
             eng, fab, finish = runs[solver] = drive(flows, faults=plan,
                                                     solver=solver)
             check_conserved(fab, flows, finish)
+            assert eng.idle
+        check_solvers_agree(runs["scalar"], runs["vector"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(flows=CHANNEL_FLOWS)
+    def test_random_channel_assignment_conserves_per_lane(self, flows):
+        runs = {}
+        for solver in ("scalar", "vector"):
+            eng, fab, finish = runs[solver] = drive_channels(flows,
+                                                             solver=solver)
+            check_channels_conserved(fab, flows, finish)
+            assert eng.idle
+        check_solvers_agree(runs["scalar"], runs["vector"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(flows=CHANNEL_FLOWS, windows=WINDOWS, seed=st.integers(0, 3))
+    def test_channel_conservation_under_fault_interleavings(self, flows,
+                                                            windows, seed):
+        specs = []
+        for (node, t0, length, factor) in windows:
+            specs.append(LinkDegradation(node=node, t_start=t0,
+                                         t_end=t0 + length, factor=factor))
+        specs.append(NicJitter(node=0, t_start=0.0, t_end=0.05,
+                               max_extra_latency=1e-5))
+        runs = {}
+        for solver in ("scalar", "vector"):
+            plan = FaultPlan(specs, seed=seed)
+            eng, fab, finish = runs[solver] = drive_channels(
+                flows, faults=plan, solver=solver)
+            check_channels_conserved(fab, flows, finish)
             assert eng.idle
         check_solvers_agree(runs["scalar"], runs["vector"])
 

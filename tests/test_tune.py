@@ -47,7 +47,7 @@ class TestSignature:
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ValueError, match="unknown kernel"):
-            WorkloadSignature(kernel="summa", n=64, ranks=8, mesh=(2, 2, 2),
+            WorkloadSignature(kernel="cannon", n=64, ranks=8, mesh=(2, 2, 2),
                               ppn=1, placement="block", fabric="0" * 12)
 
     def test_ssc25d_signature_counts_ranks(self):
