@@ -1,0 +1,14 @@
+"""Table VI (extension) — the pipelined-multicast SUMMA family.
+
+Regenerates the colors x tile-depth x mesh sweep (including the autotuned
+pick) and asserts the qualitative targets: every pipelined variant beats
+plain SUMMA, deeper pre-post windows never lose, and the 4-color variant
+reaches the committed speedup on the 4x4 mesh.  The rendered rows are
+written to benchmarks/results/table6.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_table6(benchmark):
+    run_paper_experiment(benchmark, "table6")

@@ -118,6 +118,12 @@ REPLAY_SWEEP = (
     ("shm_bandwidth", 0.5),
 )
 
+#: Tuning-service load: (concurrent threads, distinct signatures, warm
+#: lookups).  The coalescing gate requires exactly one search per
+#: signature; the warm wave must be all lock-free cache hits with zero
+#: simulator runs.  Same in quick and full mode (it is a microbench).
+TUNE_SERVICE_LOAD = (64, 4, 256)
+
 
 def run_storm(nodes: int, ppn: int, wave: int, waves: int, nbytes: int,
               stagger: int) -> Engine:
@@ -318,6 +324,25 @@ def run_replay_bench(quick: bool) -> dict:
     }
 
 
+def run_tune_service_bench() -> dict:
+    """The tuning service's coalescing + warm-cache stage, fully pinned.
+
+    Runs the gate-orchestrated stampede shared with the
+    ``ablation-tune-service`` experiment: concurrent ``tune()`` threads
+    over a few signatures must collapse to one search per signature, the
+    warm wave must be all cache hits with zero simulator runs, and the db
+    written through the service must be byte-identical to serial tuning.
+    Every returned value except ``warm_lookups_per_sec`` (informative
+    throughput) is deterministic and gated exactly against the baseline.
+    """
+    from repro.bench.experiments.ablation_tune_service import (
+        run_coalescing_stampede,
+    )
+
+    threads_n, sigs_n, warm_n = TUNE_SERVICE_LOAD
+    return run_coalescing_stampede(threads_n, sigs_n, warm_n)
+
+
 def run_summa_bench() -> dict:
     """Deterministic SUMMA-family headline: plain vs pipelined variants.
 
@@ -422,9 +447,21 @@ def run(quick: bool = False) -> ExperimentOutput:
         rp["settings"], rp["equivalent"], rp["sim_wall"],
         rp["replay_wall"], rp["speedup"],
     ])
+    ts = run_tune_service_bench()
+    values["tune_service"] = ts
+    tt = Table(
+        ["Threads", "Sigs", "Searches", "Coalesced", "Warm hits",
+         "Warm sims", "Bytes OK", "warm lookups/s"],
+        title="perf-sim-core: tuning-service stampede + warm cache",
+    )
+    tt.add_row([
+        ts["threads"], ts["signatures"], ts["searches"], ts["coalesced"],
+        ts["warm_hits"], ts["warm_simulations"], ts["byte_identical"],
+        ts["warm_lookups_per_sec"],
+    ])
     return ExperimentOutput(
         name="perf_sim_core",
-        tables=[t, pt, st, rt],
+        tables=[t, pt, st, rt, tt],
         values=values,
         notes=(
             "'canon ev/s' divides the PRE-optimization event count by the\n"
@@ -438,7 +475,11 @@ def run(quick: bool = False) -> ExperimentOutput:
             "The replay table re-scores the recorded tuning shortlist under\n"
             "perturbed fabric constants: scores must match full simulation\n"
             f"bit for bit at >= {REPLAY_SPEEDUP_TARGET:.0f}x the speed.\n"
-            "See docs/perf.md."
+            "The tuning-service table pins the coalescing gate (one search\n"
+            "per signature under a concurrent stampede), the warm-hit gate\n"
+            "(zero simulations on the warm wave) and the serial byte-\n"
+            "identity of the db written through the service.\n"
+            "See docs/perf.md and docs/tuning.md."
         ),
     )
 
@@ -529,3 +570,30 @@ def check(output: ExperimentOutput) -> None:
             f"required {REPLAY_SPEEDUP_TARGET:.1f}x (sim "
             f"{rp['sim_wall']:.4f}s vs replay {rp['replay_wall']:.4f}s)"
         )
+    ts = output.values["tune_service"]
+    # Structural gates — hold with or without a committed baseline section.
+    assert ts["searches"] == ts["signatures"], (
+        f"coalescing gate: {ts['searches']} searches for "
+        f"{ts['signatures']} signatures under a {ts['threads']}-thread "
+        f"stampede"
+    )
+    assert ts["coalesced"] == ts["threads"] - ts["signatures"], ts
+    assert ts["warm_hits"] == ts["warm_requests"], ts
+    assert ts["warm_simulations"] == 0, (
+        f"warm-hit gate: the warm wave ran {ts['warm_simulations']} "
+        f"simulations (expected zero)"
+    )
+    assert ts["byte_identical"] is True, (
+        "tune_service: db written through the service is not byte-identical "
+        "to serial tuning"
+    )
+    base_ts = baseline.get("tune_service")
+    if base_ts is not None:
+        for key in ("threads", "signatures", "requests", "searches",
+                    "coalesced", "hits", "simulations", "records",
+                    "warm_requests", "warm_hits", "warm_searches",
+                    "warm_simulations", "byte_identical"):
+            assert ts[key] == base_ts[key], (
+                f"tune_service: deterministic value {key!r} drifted: "
+                f"{ts[key]!r} != baseline {base_ts[key]!r}"
+            )

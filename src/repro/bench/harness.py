@@ -89,6 +89,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "ablation_autotune",
         "repro.tune autotuned configuration vs the paper defaults",
     ),
+    "ablation-tune-service": (
+        "ablation_tune_service",
+        "tuning service under load: coalescing, warm cache, interpolation",
+    ),
     "perf_sim_core": (
         "perf_sim_core",
         "simulator-core microbenchmark vs the committed perf baseline",

@@ -219,7 +219,7 @@ def run_summa(
     ppn: int = 1,
     params: NetworkParams | None = None,
     machine: MachineParams | None = None,
-    tune: str | None = None,
+    tune=None,
     tune_db=None,
     deadline: float | None = None,
     record: bool = False,
@@ -237,16 +237,21 @@ def run_summa(
     (colored runs record but are marked invalid — multi-channel flows are
     not replayable).
 
-    ``tune`` hands the variant/colors/depth/PPN choice to :mod:`repro.tune`
-    (a :class:`~repro.tune.tuner.TuningPolicy` string); the decision trace
-    is attached as ``SummaResult.tuning``.  ``tune_db`` is an optional
-    :class:`~repro.tune.db.TuningDB` for warm starts.
+    ``tune`` hands the variant/colors/depth/PPN choice to :mod:`repro.tune`:
+    a :class:`~repro.tune.tuner.TuningPolicy` string builds a private
+    :class:`~repro.tune.tuner.Tuner`, while a ``Tuner`` or
+    :class:`~repro.tune.service.TuningService` instance is used directly
+    (many runs then share one warm cache and coalesced searches).  The
+    decision trace is attached as ``SummaResult.tuning``.  ``tune_db`` is
+    an optional :class:`~repro.tune.db.TuningDB` for warm starts (policy
+    strings only — a tuner object brings its own db).
     """
     if tune is not None:
         from repro.tune.candidates import apply_collective
         from repro.tune.tuner import Tuner
 
-        tuner = Tuner(db=tune_db, policy=tune)
+        tuner = (Tuner(db=tune_db, policy=tune) if isinstance(tune, str)
+                 else tune)
         decision = tuner.autotune_summa(p, n, ppn=ppn, params=params,
                                         machine=machine)
         best = decision.best

@@ -200,7 +200,7 @@ def run_ssc25d(
     machine: MachineParams | None = None,
     verify: bool = False,
     verify_plans: bool = False,
-    tune: str | None = None,
+    tune=None,
     tune_db=None,
     deadline: float | None = None,
     record: bool = False,
@@ -208,10 +208,11 @@ def run_ssc25d(
 ) -> SSC25DResult:
     """Run Algorithm 6 on a fresh ``q x q x c`` world (cf. :func:`run_ssc`).
 
-    ``tune`` / ``tune_db`` / ``deadline`` mirror :func:`repro.kernels.run_ssc`:
-    the tuner may move to any ``q' x q' x c'`` factorization with the same
-    rank count and picks ``N_DUP``, PPN and the collective schedule; the
-    record lands on ``SSC25DResult.tuning``.
+    ``tune`` / ``tune_db`` / ``deadline`` mirror :func:`repro.kernels.run_ssc`
+    (``tune`` accepts a policy string or a ``Tuner``/``TuningService``
+    object): the tuner may move to any ``q' x q' x c'`` factorization with
+    the same rank count and picks ``N_DUP``, PPN and the collective
+    schedule; the record lands on ``SSC25DResult.tuning``.
     """
     check_positive("iterations", iterations)
     validate_ssc25d_config(q, c, n, n_dup, ppn=max(ppn, 1))
@@ -219,10 +220,11 @@ def run_ssc25d(
         from repro.tune.candidates import apply_collective
         from repro.tune.tuner import Tuner
 
-        tuner = Tuner(db=tune_db, policy=tune)
-        record = tuner.autotune_ssc25d(q, c, n, ppn=ppn, params=params,
-                                       machine=machine)
-        best = record.best
+        tuner = (Tuner(db=tune_db, policy=tune) if isinstance(tune, str)
+                 else tune)
+        decision = tuner.autotune_ssc25d(q, c, n, ppn=ppn, params=params,
+                                         machine=machine)
+        best = decision.best
         bq, _bq, bc = best.mesh
         eff = apply_collective(params or NetworkParams(), best.collective)
         result = run_ssc25d(
@@ -231,7 +233,7 @@ def run_ssc25d(
             verify_plans=verify_plans, deadline=deadline, record=record,
             solver=solver,
         )
-        result.tuning = record
+        result.tuning = decision
         return result
     real = d is not None
     if real and not np.allclose(d, d.T):

@@ -535,7 +535,7 @@ def run_ssc(
     faults: FaultPlan | None = None,
     verify: bool = False,
     verify_plans: bool = False,
-    tune: str | None = None,
+    tune=None,
     tune_db=None,
     deadline: float | None = None,
     record: bool = False,
@@ -571,11 +571,15 @@ def run_ssc(
 
     ``tune`` hands configuration choice to :mod:`repro.tune`: a
     :class:`~repro.tune.tuner.TuningPolicy` string (``"auto"``,
-    ``"model-only"``, ``"exhaustive"``, ``"db-only"``) selects the search;
-    the tuner picks algorithm variant, ``N_DUP``, PPN and collective
-    schedule for this workload (overriding the corresponding arguments),
-    and the decision trace is attached as ``SSCResult.tuning``.  ``tune_db``
-    is an optional :class:`~repro.tune.db.TuningDB` for warm starts.
+    ``"model-only"``, ``"exhaustive"``, ``"db-only"``) builds a private
+    :class:`~repro.tune.tuner.Tuner`; a ``Tuner`` or
+    :class:`~repro.tune.service.TuningService` instance is used directly,
+    so many runs share one warm cache and coalesced searches.  The tuner
+    picks algorithm variant, ``N_DUP``, PPN and collective schedule for
+    this workload (overriding the corresponding arguments), and the
+    decision trace is attached as ``SSCResult.tuning``.  ``tune_db`` is an
+    optional :class:`~repro.tune.db.TuningDB` for warm starts (policy
+    strings only — a tuner object brings its own db).
 
     ``deadline`` bounds the simulation at that virtual time and raises
     :class:`~repro.sim.engine.DeadlineExceeded` if the kernel has not
@@ -588,10 +592,11 @@ def run_ssc(
         from repro.tune.candidates import apply_collective
         from repro.tune.tuner import Tuner
 
-        tuner = Tuner(db=tune_db, policy=tune)
-        record = tuner.autotune_ssc(p, n, ppn=ppn, placement=placement,
-                                    params=params, machine=machine)
-        best = record.best
+        tuner = (Tuner(db=tune_db, policy=tune) if isinstance(tune, str)
+                 else tune)
+        decision = tuner.autotune_ssc(p, n, ppn=ppn, placement=placement,
+                                      params=params, machine=machine)
+        best = decision.best
         eff = apply_collective(params or NetworkParams(), best.collective)
         result = run_ssc(
             p, n, best.algorithm, d, n_dup=best.n_dup, ppn=best.ppn,
@@ -600,7 +605,7 @@ def run_ssc(
             verify_plans=verify_plans, deadline=deadline, record=record,
             solver=solver,
         )
-        result.tuning = record
+        result.tuning = decision
         return result
     real = d is not None
     if real and not np.allclose(d, d.T):

@@ -37,6 +37,7 @@ than once per step per layer per iteration.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from functools import lru_cache
 
@@ -241,7 +242,7 @@ class PlanCache:
     repeated purification iterations all hit the same entries.
     """
 
-    __slots__ = ("maxsize", "_plans", "hits", "misses", "evictions")
+    __slots__ = ("maxsize", "_plans", "hits", "misses", "evictions", "_lock")
 
     def __init__(self, maxsize: int = 4096):
         if maxsize < 1:
@@ -251,23 +252,31 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # The process-wide shared cache is hit from every tuning-service
+        # search thread; OrderedDict reordering plus the counters are
+        # read-modify-write sequences that must not interleave.  Plan
+        # *construction* stays outside the lock — a rare duplicate build
+        # is cheaper than serializing every miss.
+        self._lock = threading.Lock()
 
     def get(self, algorithm: str, p: int, me: int, root: int = 0,
             n_elems: int = 0, itemsize: int = 8) -> CollectivePlan:
         """Return the memoized plan, building (and possibly evicting) on miss."""
         key = (algorithm, p, me, root, n_elems, itemsize)
         plans = self._plans
-        plan = plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            plans.move_to_end(key)
-            return plan
-        self.misses += 1
+        with self._lock:
+            plan = plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                plans.move_to_end(key)
+                return plan
+            self.misses += 1
         plan = CollectivePlan.build(algorithm, p, me, root, n_elems, itemsize)
-        plans[key] = plan
-        if len(plans) > self.maxsize:
-            plans.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            plans[key] = plan
+            if len(plans) > self.maxsize:
+                plans.popitem(last=False)
+                self.evictions += 1
         return plan
 
     def __len__(self) -> int:

@@ -206,7 +206,12 @@ class Fabric:
     # Class-level per-channel traffic aggregates, mirroring
     # Engine._agg_* : worker processes of a ``--jobs N`` grid sweep report
     # these via ``aggregate_stats()`` so the harness can merge per-channel
-    # byte/flow counters byte-identically to a serial run.
+    # byte/flow counters byte-identically to a serial run.  Updated only by
+    # :meth:`_flush_aggregate` (under ``Engine._agg_lock``, once per engine
+    # run) rather than per transfer — fabrics run concurrently under the
+    # tuning service and unlocked per-transfer ``+=`` would lose updates.
+    # Byte counts are integral floats, so the delta sums are exact no
+    # matter how flushes interleave.
     _agg_channel_bytes: list = [0.0] * MAX_CHANNELS
     _agg_channel_messages: list = [0] * MAX_CHANNELS
 
@@ -322,10 +327,37 @@ class Fabric:
         # Per-channel traffic counters (instance + process-wide aggregate).
         self.channel_bytes = [0.0] * nch
         self.channel_messages = [0] * nch
+        # High-water marks already reported to the class aggregates; the
+        # delta is flushed at the end of every engine run (see
+        # Engine.aggregate_flushers) so the per-transfer hot path never
+        # touches shared class state.
+        self._flushed_channel_bytes = [0.0] * nch
+        self._flushed_channel_messages = [0] * nch
+        engine.aggregate_flushers.append(self._flush_aggregate)
         # Busy-time integral of the union of active inter-node flows.
         self._active_inter = 0
         self._busy_since = 0.0
         self.inter_busy_time = 0.0
+
+    def _flush_aggregate(self) -> None:
+        """Report this fabric's traffic deltas to the class-wide aggregates.
+
+        Called by the engine at the end of every :meth:`Engine.run` (this
+        fabric registered itself in ``engine.aggregate_flushers``).  The
+        instance counters are the source of truth; only the delta since the
+        last flush is added, under ``Engine._agg_lock``, so concurrent
+        worlds (one per tuning-service search thread) never lose updates.
+        """
+        cb, cm = self.channel_bytes, self.channel_messages
+        fb, fm = self._flushed_channel_bytes, self._flushed_channel_messages
+        with Engine._agg_lock:
+            ab = Fabric._agg_channel_bytes
+            am = Fabric._agg_channel_messages
+            for ch in range(self._nch):
+                ab[ch] += cb[ch] - fb[ch]
+                am[ch] += cm[ch] - fm[ch]
+        self._flushed_channel_bytes = list(cb)
+        self._flushed_channel_messages = list(cm)
 
     # -- public API -----------------------------------------------------------
 
@@ -400,8 +432,6 @@ class Fabric:
             self.inter_node_messages += 1
         self.channel_bytes[channel] += nbytes
         self.channel_messages[channel] += 1
-        Fabric._agg_channel_bytes[channel] += nbytes
-        Fabric._agg_channel_messages[channel] += 1
         flow = Flow(
             self._next_fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap,
             done_cb, done_args,

@@ -42,6 +42,7 @@ burst (see ``docs/perf.md``).
 from __future__ import annotations
 
 import heapq
+import threading
 from collections.abc import Callable
 from typing import Any
 
@@ -198,6 +199,11 @@ class Engine:
     _agg_cancelled = 0
     _agg_peak_heap = 0
     _agg_compactions = 0
+    #: Serializes aggregate flushes: the tuning service runs one engine per
+    #: searching thread, and unlocked ``+=`` on class attributes would lose
+    #: updates.  Also taken by :class:`repro.netmodel.fabric.Fabric` for its
+    #: own class-level channel aggregates (same flush cadence).
+    _agg_lock = threading.Lock()
 
     def __init__(self):
         self.now: float = 0.0
@@ -210,6 +216,12 @@ class Engine:
         self._nevents = 0
         self._ndead = 0  # cancelled entries still physically in the heap
         self._flush: list[Callable[[], None]] = []
+        #: Components with process-wide aggregate counters (e.g. the fabric's
+        #: per-channel traffic) register a flusher here; :meth:`run` calls
+        #: them on exit, right after the engine's own aggregate flush, so
+        #: class-level totals are only ever touched under the flush lock
+        #: instead of once per event.
+        self.aggregate_flushers: list[Callable[[], None]] = []
         self.events_cancelled = 0
         self.peak_heap_size = 0
         self.compactions = 0
@@ -274,13 +286,19 @@ class Engine:
         }
 
     def _flush_aggregate(self) -> None:
+        # Engines run concurrently under the tuning service (one world per
+        # searching thread); the class-wide read-modify-write must be
+        # serialized or concurrent flushes lose updates.  One uncontended
+        # acquire per run() exit — not per event — so the hot loop is
+        # untouched.
         ev, ca, co = self._flushed
         cls = type(self)
-        cls._agg_events += self._nevents - ev
-        cls._agg_cancelled += self.events_cancelled - ca
-        cls._agg_compactions += self.compactions - co
-        if self.peak_heap_size > cls._agg_peak_heap:
-            cls._agg_peak_heap = self.peak_heap_size
+        with Engine._agg_lock:
+            cls._agg_events += self._nevents - ev
+            cls._agg_cancelled += self.events_cancelled - ca
+            cls._agg_compactions += self.compactions - co
+            if self.peak_heap_size > cls._agg_peak_heap:
+                cls._agg_peak_heap = self.peak_heap_size
         self._flushed = (self._nevents, self.events_cancelled, self.compactions)
 
     # -- scheduling ---------------------------------------------------------
@@ -489,6 +507,8 @@ class Engine:
             if peak > self.peak_heap_size:
                 self.peak_heap_size = peak
             self._flush_aggregate()
+            for cb in self.aggregate_flushers:
+                cb()
         if until is not None and until > self.now:
             self.now = until
         return self.now

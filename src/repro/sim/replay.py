@@ -83,6 +83,11 @@ REPLAY_SAFE_FIELDS = frozenset({
 #: Node kinds of the recorded max-plus graph.
 K_CONST, K_SHIFT, K_MAX, K_FLOW = 0, 1, 2, 3
 
+#: Serialized-recording schema.  v2 adds the ``machine`` constants so a
+#: loaded recording can enforce its full validity envelope in a fresh
+#: process; v1 artifacts (no machine) still load with ``machine=None``.
+DUMP_SCHEMA = 2
+
 
 class ReplayInvalid(SimulationError):
     """The recorded graph cannot reproduce the requested run exactly."""
@@ -226,7 +231,7 @@ class GraphRecorder:
             placement = [self.cluster.node_of(r)
                          for r in range(self.cluster.num_ranks)]
         return {
-            "schema": 1,
+            "schema": DUMP_SCHEMA,
             "valid": self.valid,
             "invalid_reason": self.invalid_reason,
             "kinds": list(self.kinds),
@@ -239,6 +244,9 @@ class GraphRecorder:
             "placement": placement,
             "params": {f.name: getattr(self.params, f.name)
                        for f in fields(NetworkParams)},
+            "machine": (None if self.machine is None else
+                        {f.name: getattr(self.machine, f.name)
+                         for f in fields(MachineParams)}),
             "meta": dict(self.meta),
         }
 
@@ -328,7 +336,8 @@ def _fold_static(rec: GraphRecorder):
 
 def replay(recording: GraphRecorder, params: NetworkParams | None = None,
            machine: MachineParams | None = None,
-           solver: str = "auto") -> ReplayResult:
+           solver: str = "auto",
+           deadline: float | None = None) -> ReplayResult:
     """Solve the recorded timeline under ``params``; exact by construction.
 
     Static (max-plus) nodes are folded in one (cached) topological pass;
@@ -336,6 +345,14 @@ def replay(recording: GraphRecorder, params: NetworkParams | None = None,
     :class:`~repro.netmodel.fabric.Fabric` fed the recorded transfers at
     their graph-resolved post times.  Raises :class:`ReplayInvalid` when
     the recording's envelope is violated.
+
+    With a ``deadline``, the replay **aborts early**: the moment any
+    ``proc_done`` mark resolves past the deadline — statically, or during
+    flow propagation inside the fabric mini-simulation — it raises
+    :class:`~repro.sim.engine.DeadlineExceeded` instead of folding the rest
+    of the graph.  This mirrors the live simulator's bounded
+    ``World.run(until=...)`` contract: a candidate that cannot beat the
+    incumbent costs only the replay work up to the proof, not a full solve.
     """
     from repro.netmodel.fabric import Fabric
 
@@ -347,6 +364,25 @@ def replay(recording: GraphRecorder, params: NetworkParams | None = None,
     values0, nun0, deps, posts_arr, flow_node = _fold_static(rec)
     values = values0.copy()
     nun = nun0.copy()
+
+    # Early-abort bookkeeping: the set of graph nodes whose resolution
+    # proves a rank program's completion time.  Static times are
+    # parameter-independent (recorded consts + deltas), so statically
+    # resolved completions are checked before the fabric even spins up.
+    done_nodes: frozenset | None = None
+    if deadline is not None:
+        done_nodes = frozenset(
+            node for key, node in rec.marks.items()
+            if isinstance(key, tuple) and key and key[0] == "proc_done"
+        )
+        for node in done_nodes:
+            if nun[node] == 0 and values[node] is not None \
+                    and values[node] > deadline:
+                raise DeadlineExceeded(
+                    f"replayed run exceeded deadline {deadline:.6g}s "
+                    f"(rank program finished at {values[node]:.6g}s; "
+                    f"aborted before fabric replay)"
+                )
 
     eng = Engine()
     cluster = rec.cluster
@@ -370,12 +406,21 @@ def replay(recording: GraphRecorder, params: NetworkParams | None = None,
     # deep shift chains.
     def flow_done(fi: int, values=values, nun=nun, deps=deps,
                   posts_arr=posts_arr, kinds=kinds, B=B,
-                  flow_node=flow_node, K_SHIFT=K_SHIFT) -> None:
+                  flow_node=flow_node, K_SHIFT=K_SHIFT,
+                  done_nodes=done_nodes, deadline=deadline) -> None:
         stack = [(flow_node[fi], eng.now)]
         while stack:
             i, v = stack.pop()
             values[i] = v
             nun[i] = 0
+            if done_nodes is not None and i in done_nodes and v > deadline:
+                # First resolved completion past the incumbent: stop the
+                # mini-simulation here.  Engine.run propagates callback
+                # exceptions, so this unwinds straight out of replay().
+                raise DeadlineExceeded(
+                    f"replayed run exceeded deadline {deadline:.6g}s "
+                    f"(rank program finished at {v:.6g}s; replay aborted)"
+                )
             fis = posts_arr[i]
             if fis is not None:
                 for pfi in fis:
@@ -439,7 +484,8 @@ def replay_kernel(recording: GraphRecorder,
     kernel computes them (per-rank ``t1 - t0``, max over ranks per
     iteration, mean over iterations) and raises :class:`DeadlineExceeded`
     iff the live bounded run would have left a rank program unfinished at
-    ``deadline``.
+    ``deadline`` — aborting the replay at the first such proof instead of
+    folding the whole graph (see :func:`replay`).
     """
     meta = recording.meta
     try:
@@ -447,18 +493,13 @@ def replay_kernel(recording: GraphRecorder,
         iterations = meta["iterations"]
     except KeyError as exc:
         raise ReplayInvalid(f"recording lacks kernel metadata: {exc}") from exc
-    r = replay(recording, params=params, machine=machine, solver=solver)
-    marks = r.marks
+    r = replay(recording, params=params, machine=machine, solver=solver,
+               deadline=deadline)
     if deadline is not None:
-        for key, when in marks.items():
-            if key[0] == "proc_done" and when > deadline:
-                raise DeadlineExceeded(
-                    f"replayed run exceeded deadline {deadline:.6g}s "
-                    f"(rank program finished at {when:.6g}s)"
-                )
         world_time = deadline  # Engine.run(until) pins now to the deadline
     else:
         world_time = r.final_time
+    marks = r.marks
     iter_times = []
     for it in range(iterations):
         best = None
@@ -476,6 +517,60 @@ def dump_recording(recording: GraphRecorder, path) -> None:
     with open(path, "w") as fh:
         json.dump(recording.to_jsonable(), fh, indent=1, default=repr)
         fh.write("\n")
+
+
+def load_recording(source) -> GraphRecorder:
+    """Rebuild a replayable :class:`GraphRecorder` from a dumped artifact.
+
+    ``source`` is a path (anything :func:`open` accepts) or an
+    already-parsed dict from :meth:`GraphRecorder.to_jsonable`.  The
+    reconstruction is exact: node operands regain their tuple form
+    (``K_MAX`` predecessor sets), mark keys are parsed back from their
+    ``repr`` (they are tuples of strings and ints), and floats round-trip
+    bit-for-bit through JSON's ``repr``-based encoding — so a replay of a
+    loaded recording produces the same times as a replay of the original.
+
+    This is what makes replay reuse *cross-process*: a tuning service can
+    persist each scored candidate's graph next to the tuning db
+    (:class:`repro.tune.graphstore.GraphStore`) and a fresh process scores
+    warm-started shortlists through :func:`replay` instead of full
+    simulation.  Schema 1 artifacts (no machine constants) load with
+    ``machine=None``; anything else raises :class:`ReplayInvalid`.
+    """
+    import ast
+
+    from repro.netmodel.topology import Cluster
+
+    if isinstance(source, dict):
+        doc = source
+    else:
+        with open(source) as fh:
+            doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema not in (1, DUMP_SCHEMA):
+        raise ReplayInvalid(
+            f"recording artifact has schema {schema!r}, expected 1 or "
+            f"{DUMP_SCHEMA}; re-dump it"
+        )
+    params = NetworkParams(**doc["params"])
+    machine_doc = doc.get("machine")
+    machine = MachineParams(**machine_doc) if machine_doc else None
+    placement = doc.get("placement")
+    cluster = Cluster(placement) if placement else None
+    rec = GraphRecorder(cluster=cluster, params=params, machine=machine)
+    kinds = [int(k) for k in doc["kinds"]]
+    rec.kinds = kinds
+    rec.a = [tuple(x) if isinstance(x, list) else x for x in doc["a"]]
+    rec.b = list(doc["b"])
+    rec.flows = [tuple(f) for f in doc["flows"]]
+    rec.guards = [tuple(g) for g in doc["guards"]]
+    rec.marks = {ast.literal_eval(k): v for k, v in doc["marks"].items()}
+    rec.meta = dict(doc.get("meta", {}))
+    if not doc.get("valid", True):
+        rec.invalidate(doc.get("invalid_reason") or "marked invalid on dump")
+    # The hash-consing table is a recording-time accelerator only; a loaded
+    # recording is sealed, so it stays empty.
+    return rec
 
 
 def _main(argv) -> int:  # pragma: no cover - exercised by the CI replay step

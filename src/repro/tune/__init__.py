@@ -16,7 +16,14 @@ automates that choice per workload:
   tuning database with warm-start lookup;
 * :mod:`~repro.tune.tuner` — the policy front-end (``"auto"`` /
   ``"model-only"`` / ``"exhaustive"`` / ``"db-only"``) behind
-  ``run_ssc(..., tune="auto")`` and ``python -m repro.tune``.
+  ``run_ssc(..., tune="auto")`` and ``python -m repro.tune``;
+* :mod:`~repro.tune.graphstore` — persisted recorded event graphs, so a
+  fresh process replays shortlist scoring instead of re-simulating;
+* :mod:`~repro.tune.service` — tuning as a shared resource: the concurrent
+  :class:`TuningService` (record cache, request coalescing, interpolated
+  warm starts, stale-while-revalidate re-tuning), the unix-socket
+  :class:`TuningServer`/:class:`TuningClient` pair, and the file-locked
+  multiprocess mode (:class:`LockedTuningDB`).
 
 This ``__init__`` imports only the kernel-free layers eagerly; the
 :class:`Tuner` and the search (which import the kernels) load lazily, so the
@@ -56,10 +63,21 @@ _LAZY = {
     "TuningPolicy": "repro.tune.tuner",
     "TUNING_POLICIES": "repro.tune.tuner",
     "check_policy": "repro.tune.tuner",
+    "interpolation_seeds": "repro.tune.tuner",
     "search": "repro.tune.search",
     "model_time": "repro.tune.search",
     "simulate_candidate": "repro.tune.search",
     "SearchOutcome": "repro.tune.search",
+    "GraphStore": "repro.tune.graphstore",
+    "TuningService": "repro.tune.service",
+    "TuningServer": "repro.tune.service",
+    "TuningClient": "repro.tune.service",
+    "LockedTuningDB": "repro.tune.service",
+    "run_server": "repro.tune.service",
+    "tune_serial": "repro.tune.service",
+    "find_neighbor": "repro.tune.service",
+    "degraded_params": "repro.tune.service",
+    "INTERPOLATION_REL_TOL": "repro.tune.service",
 }
 
 __all__ = [
@@ -74,7 +92,7 @@ __all__ = [
     "apply_collective", "n_dup_choices",
     # db
     "TuningDB", "TuningRecord", "TraceEntry", "DB_SCHEMA",
-    # lazy: tuner + search
+    # lazy: tuner + search + service + graphstore
     *sorted(_LAZY),
 ]
 

@@ -6,17 +6,40 @@ Examples::
     python -m repro.tune search ssc25d --q 4 --c 2 --n 512 --policy exhaustive
     python -m repro.tune show --db tune_db.json
     python -m repro.tune show --db tune_db.json --key 'ssc:n512:...' --trace
+    python -m repro.tune show --db tune_db.json --format json
     python -m repro.tune export --db tune_db.json --output /tmp/copy.json
+    python -m repro.tune warm ssc --p 2 --n 512 --n 520 --db tune_db.json
+    python -m repro.tune serve --db tune_db.json --socket /tmp/tune.sock
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
 def _fmt_time(t: float | None) -> str:
     return "-" if t is None else f"{t:.6f}s"
+
+
+def _add_output_options(p: argparse.ArgumentParser) -> None:
+    # Same convention as ``python -m repro.analysis``: ``--format`` picks
+    # the renderer, ``--json`` is the ergonomic alias.
+    p.add_argument("--format", choices=("text", "json"), default=None,
+                   help="output format (default: text)")
+    p.add_argument("--json", action="store_true",
+                   help="alias for --format json")
+
+
+def _resolve_format(args) -> str:
+    if args.format is not None:
+        return args.format
+    return "json" if args.json else "text"
+
+
+def _emit_json(doc) -> None:
+    print(json.dumps(doc, indent=1, sort_keys=True))
 
 
 def _print_record(record, trace: bool = False) -> None:
@@ -37,22 +60,39 @@ def _print_record(record, trace: bool = False) -> None:
                   f"sim={sim:<11} {entry.candidate.key}")
 
 
+def _signatures(args) -> list:
+    """Resolve the kernel spec (+ one or more ``--n``) to signatures."""
+    from repro.tune.signature import (
+        signature_for_ssc,
+        signature_for_ssc25d,
+        signature_for_summa,
+    )
+
+    dims = args.n if isinstance(args.n, list) else [args.n]
+    if args.kernel in ("ssc", "summa"):
+        if args.p is None:
+            raise SystemExit(f"search {args.kernel} requires --p")
+        make = signature_for_ssc if args.kernel == "ssc" else signature_for_summa
+        return [make(args.p, n, ppn=args.ppn) for n in dims]
+    if args.q is None or args.c is None:
+        raise SystemExit("search ssc25d requires --q and --c")
+    return [signature_for_ssc25d(args.q, args.c, n, ppn=args.ppn)
+            for n in dims]
+
+
 def _cmd_search(args) -> int:
     from repro.tune.db import TuningDB
     from repro.tune.tuner import Tuner
 
     db = TuningDB(path=args.db)
     tuner = Tuner(db=db, policy=args.policy, seed=args.seed)
-    if args.kernel == "ssc":
-        if args.p is None:
-            print("search ssc requires --p", file=sys.stderr)
-            return 2
-        record = tuner.autotune_ssc(args.p, args.n, ppn=args.ppn)
-    else:
-        if args.q is None or args.c is None:
-            print("search ssc25d requires --q and --c", file=sys.stderr)
-            return 2
-        record = tuner.autotune_ssc25d(args.q, args.c, args.n, ppn=args.ppn)
+    args.n = args.n[0] if isinstance(args.n, list) else args.n
+    try:
+        sig = _signatures(args)[0]
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    record = tuner.tune(sig)
     _print_record(record, trace=args.trace)
     if args.db:
         db.save()
@@ -60,9 +100,71 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_warm(args) -> int:
+    """Pre-warm a tuning db through the service (coalescing + interpolation).
+
+    The requests run through one :class:`~repro.tune.service.TuningService`
+    in spec order, so a family sweep (several ``--n`` within ±10%) resolves
+    the later sizes as interpolated warm starts; with ``--threads`` > 1 the
+    submissions race and concurrent duplicates are coalesced (generation
+    stamps then follow the racy first-miss order — use one thread when the
+    db bytes must be reproducible run-over-run).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.tune.service import TuningService
+
+    try:
+        sigs = _signatures(args)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    svc = TuningService(args.db, policy=args.policy, seed=args.seed)
+    try:
+        if args.threads > 1:
+            with ThreadPoolExecutor(max_workers=args.threads) as pool:
+                records = list(pool.map(lambda s: svc.tune(s), sigs))
+        else:
+            records = [svc.tune(sig) for sig in sigs]
+        for record in records:
+            speedup = record.speedup_vs_default
+            extra = f"  ({speedup:.3f}x vs default)" if speedup else ""
+            print(f"{record.signature.key}\n  -> {record.best.key}  "
+                  f"{_fmt_time(record.best_time)}{extra}")
+        if args.db:
+            target = svc.save()
+            print(f"saved {len(svc.db)} record(s) to {target}")
+        stats = svc.stats()
+        print(f"searches: {stats['searches']}  "
+              f"interpolated: {stats['interpolated']}  "
+              f"coalesced: {stats['coalesced']}  hits: {stats['hits']}  "
+              f"simulations: {stats['simulations']}")
+    finally:
+        svc.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.tune.service import TuningService, run_server
+
+    svc = TuningService(args.db, policy=args.policy, seed=args.seed,
+                        stale_while_revalidate=args.swr,
+                        mp_safe=args.mp_safe)
+    print(f"serving tuning db {args.db or '<ephemeral>'} on {args.socket}",
+          flush=True)
+    try:
+        run_server(svc, args.socket)
+    finally:
+        if args.db:
+            svc.save()
+        svc.close()
+    return 0
+
+
 def _cmd_show(args) -> int:
     from repro.tune.db import TuningDB
 
+    fmt = _resolve_format(args)
     db = TuningDB(path=args.db)
     if args.key:
         try:
@@ -70,7 +172,14 @@ def _cmd_show(args) -> int:
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 1
-        _print_record(record, trace=args.trace)
+        if fmt == "json":
+            _emit_json(record.as_dict())
+        else:
+            _print_record(record, trace=args.trace)
+        return 0
+    if fmt == "json":
+        _emit_json({"db": str(args.db),
+                    "records": [db.get(k).as_dict() for k in db.keys()]})
         return 0
     if not len(db):
         print(f"{args.db}: empty tuning database")
@@ -89,8 +198,31 @@ def _cmd_export(args) -> int:
 
     db = TuningDB(path=args.db)
     target = db.save(args.output)
-    print(f"exported {len(db)} record(s) to {target}")
+    if _resolve_format(args) == "json":
+        _emit_json({"exported": len(db), "path": str(target)})
+    else:
+        print(f"exported {len(db)} record(s) to {target}")
     return 0
+
+
+def _add_workload_options(p: argparse.ArgumentParser, *,
+                          many_n: bool) -> None:
+    if many_n:
+        p.add_argument("--n", type=int, required=True, action="append",
+                       help="matrix dimension (repeatable)")
+    else:
+        p.add_argument("--n", type=int, required=True,
+                       help="matrix dimension")
+    p.add_argument("--p", type=int, default=None,
+                   help="3D mesh side (ssc) / 2D mesh side (summa)")
+    p.add_argument("--q", type=int, default=None, help="2.5D layer side")
+    p.add_argument("--c", type=int, default=None, help="2.5D replication")
+    p.add_argument("--ppn", type=int, default=1, help="requested PPN")
+    p.add_argument("--policy", default="auto",
+                   choices=("auto", "model-only", "exhaustive", "db-only"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--db", default=None, metavar="FILE",
+                   help="tuning database to warm-start from and save to")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -102,30 +234,50 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_search = sub.add_parser("search", help="run a tuning search")
-    p_search.add_argument("kernel", choices=("ssc", "ssc25d"))
-    p_search.add_argument("--n", type=int, required=True, help="matrix dimension")
-    p_search.add_argument("--p", type=int, default=None, help="3D mesh side (ssc)")
-    p_search.add_argument("--q", type=int, default=None, help="2.5D layer side")
-    p_search.add_argument("--c", type=int, default=None, help="2.5D replication")
-    p_search.add_argument("--ppn", type=int, default=1, help="requested PPN")
-    p_search.add_argument("--policy", default="auto",
-                          choices=("auto", "model-only", "exhaustive", "db-only"))
-    p_search.add_argument("--seed", type=int, default=0)
-    p_search.add_argument("--db", default=None, metavar="FILE",
-                          help="tuning database to warm-start from and save to")
+    p_search.add_argument("kernel", choices=("ssc", "ssc25d", "summa"))
+    _add_workload_options(p_search, many_n=False)
     p_search.add_argument("--trace", action="store_true",
                           help="print the full decision trace")
     p_search.set_defaults(fn=_cmd_search)
+
+    p_warm = sub.add_parser(
+        "warm", help="pre-warm a db through the tuning service")
+    p_warm.add_argument("kernel", choices=("ssc", "ssc25d", "summa"))
+    _add_workload_options(p_warm, many_n=True)
+    p_warm.add_argument("--threads", type=int, default=1,
+                        help="submit requests from this many threads "
+                             "(>1 exercises coalescing; db generation "
+                             "order then follows the racy arrival order)")
+    p_warm.set_defaults(fn=_cmd_warm)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a tuning db to other processes (unix socket)")
+    p_serve.add_argument("--socket", required=True, metavar="PATH",
+                         help="unix socket path to listen on")
+    p_serve.add_argument("--db", default=None, metavar="FILE")
+    p_serve.add_argument("--policy", default="auto",
+                         choices=("auto", "model-only", "exhaustive",
+                                  "db-only"))
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--swr", action="store_true",
+                         help="serve stale records while re-tuning in the "
+                              "background (fault-plan fabric changes)")
+    p_serve.add_argument("--mp-safe", action="store_true", dest="mp_safe",
+                         help="share the db file with other writer "
+                              "processes through file locking")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_show = sub.add_parser("show", help="inspect a tuning database")
     p_show.add_argument("--db", required=True, metavar="FILE")
     p_show.add_argument("--key", default=None, help="one record (default: all)")
     p_show.add_argument("--trace", action="store_true")
+    _add_output_options(p_show)
     p_show.set_defaults(fn=_cmd_show)
 
     p_export = sub.add_parser("export", help="re-serialize a database")
     p_export.add_argument("--db", required=True, metavar="FILE")
     p_export.add_argument("--output", required=True, metavar="FILE")
+    _add_output_options(p_export)
     p_export.set_defaults(fn=_cmd_export)
 
     args = parser.parse_args(argv)

@@ -36,9 +36,13 @@ DEFAULT_MAX_RECORDS = 256
 #: (:mod:`repro.sim.replay`) instead of a full simulation;
 #: ``deadline-analytic`` marks a default candidate whose simulation hit the
 #: deadline but was kept as the incumbent at its analytic estimate (the
-#: search must never drop the paper default entirely).
+#: search must never drop the paper default entirely); ``interpolated``
+#: marks a stage-2 score produced by a nearest-neighbor warm start — the
+#: shortlist was seeded from a nearby-``n`` record of the same family and
+#: re-ranked with the analytic model instead of enumerated from scratch
+#: (see :mod:`repro.tune.service`).
 TRACE_STATUSES = ("simulated", "replayed", "pruned-model", "pruned-deadline",
-                  "deadline-analytic", "model-only")
+                  "deadline-analytic", "model-only", "interpolated")
 
 
 @dataclass

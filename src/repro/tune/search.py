@@ -143,6 +143,8 @@ class SearchOutcome:
     trace: list[TraceEntry] = field(default_factory=list)
     simulations: int = 0
     replays: int = 0                  #: shortlist scorings served by replay
+    replay_aborts: int = 0            #: replays cut short by the deadline
+    interpolated: bool = False        #: stage 2 ran on a seeded shortlist
 
 
 def _sample(cands: list[Candidate], limit: int, seed: int) -> list[Candidate]:
@@ -164,7 +166,8 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
            model_only: bool = False,
            exhaustive: bool = False,
            replay: str = "off",
-           graph_cache: dict | None = None) -> SearchOutcome:
+           graph_cache: dict | None = None,
+           seed_shortlist: list[Candidate] | None = None) -> SearchOutcome:
     """Run the two-stage search over ``candidates`` for ``sig``.
 
     ``model_only`` stops after stage 1 (no simulator runs); ``exhaustive``
@@ -179,6 +182,14 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
     parameter sweep) and the shortlist re-scores by replaying the recorded
     graphs — bit-for-bit the times a full simulation would produce —
     instead of re-running the simulator.
+
+    ``seed_shortlist`` is an **interpolation warm start**: instead of the
+    model-ranked top of the candidate pool, stage 2 scores the given
+    candidates (a nearby workload's surviving shortlist), re-ranked by the
+    analytic model *at this signature's* ``n`` and truncated to
+    ``shortlist - 1`` plus the default.  Seeds not valid for this workload
+    (they must appear in ``candidates``) are dropped.  Scored entries are
+    marked ``interpolated`` so the db records how the decision was made.
     """
     if replay not in REPLAY_MODES:
         raise ValueError(f"replay must be one of {REPLAY_MODES}: {replay!r}")
@@ -189,7 +200,7 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
     # Cache key: workload identity *without* the fabric hash — reusing a
     # graph under different constants is the entire point; compatibility is
     # the recording's own check, not the key's.
-    wl_key = sig.key.rsplit(":", 1)[0]
+    wl_key = sig.workload_key
     pool = _sample(candidates, max_candidates, seed)
     if default not in pool:
         pool = [default] + pool
@@ -206,7 +217,20 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
         return SearchOutcome(best=best, default=entries[default.key],
                              trace=list(entries.values()))
 
-    if exhaustive:
+    interpolated = False
+    if seed_shortlist is not None:
+        # Interpolation warm start: the stage-2 pool is the neighbor's
+        # surviving shortlist, re-ranked by the analytic model at *this*
+        # n.  Seeds outside this workload's valid candidate set (validity
+        # depends on n) are dropped, not simulated.
+        interpolated = True
+        valid_keys = {c.key for c in pool}
+        seen = {c.key: entries[c.key] for c in seed_shortlist
+                if c.key in valid_keys}
+        seeds = sorted(seen.values(),
+                       key=lambda e: (e.model_time, e.candidate.key))
+        short = seeds[:max(shortlist - 1, 1)]
+    elif exhaustive:
         short = list(entries.values())
     else:
         ranked = sorted(entries.values(),
@@ -219,6 +243,7 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
 
     simulations = 0
     replays = 0
+    replay_aborts = 0
     incumbent: TraceEntry | None = None
     incumbent_world = None
     for entry in short:
@@ -236,8 +261,12 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
                                            deadline=deadline)
                     replays += 1
                 except DeadlineExceeded:
+                    # The replay aborted at the first rank-completion past
+                    # the incumbent (see repro.sim.replay) — it never
+                    # folded the full graph.
                     entry.status = "pruned-deadline"
                     replays += 1
+                    replay_aborts += 1
                     continue
                 except ReplayInvalid:
                     scored = None  # envelope violated: full simulation
@@ -271,6 +300,11 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
         else:
             kernel_time, world_time = scored
             entry.status = "replayed"
+        if interpolated:
+            # A seeded stage 2 is an interpolated decision however the
+            # score was produced; the db reader can tell this record's
+            # shortlist came from a neighbor, not from enumeration.
+            entry.status = "interpolated"
         entry.sim_time = kernel_time
         if (incumbent is None or kernel_time < incumbent.sim_time
                 or (kernel_time == incumbent.sim_time
@@ -282,4 +316,5 @@ def search(sig: WorkloadSignature, candidates: list[Candidate],
     trace = sorted(entries.values(), key=lambda e: e.candidate.key)
     return SearchOutcome(best=incumbent, default=entries[default.key],
                          trace=trace, simulations=simulations,
-                         replays=replays)
+                         replays=replays, replay_aborts=replay_aborts,
+                         interpolated=interpolated)

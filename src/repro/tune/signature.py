@@ -75,6 +75,34 @@ class WorkloadSignature:
             f":ppn{self.ppn}:{self.placement}:{self.fabric}"
         )
 
+    @property
+    def workload_key(self) -> str:
+        """The key *without* the fabric hash — the identity of the schedule.
+
+        Recorded event graphs are cached and persisted under this key:
+        re-pricing one workload under different fabric constants is the
+        whole point of replay, so the constants stay out of the cache key
+        (compatibility is the recording's own check).
+        """
+        return self.key.rsplit(":", 1)[0]
+
+    @property
+    def family_key(self) -> str:
+        """Everything but ``n`` — the interpolation neighborhood.
+
+        Two signatures in the same family run the same kernel on the same
+        mesh, rank count, PPN, placement and fabric; only the matrix
+        dimension differs.  Within a family, a tuned shortlist at one ``n``
+        is a sound warm start for a nearby ``n``: candidate validity and
+        the analytic models both vary smoothly in ``n``, while any other
+        axis change would alter the candidate space itself.
+        """
+        pi, pj, pk = self.mesh
+        return (
+            f"{self.kernel}:r{self.ranks}:m{pi}x{pj}x{pk}"
+            f":ppn{self.ppn}:{self.placement}:{self.fabric}"
+        )
+
     def as_dict(self) -> dict:
         """JSON-ready representation (mesh as a list, plus the key)."""
         return {

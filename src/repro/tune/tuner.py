@@ -24,8 +24,11 @@ Policies
 
 from __future__ import annotations
 
+import threading
+
 from repro.netmodel.params import MachineParams, NetworkParams
-from repro.tune.candidates import enumerate_candidates, paper_default_candidate
+from repro.tune.candidates import Candidate, enumerate_candidates, \
+    paper_default_candidate
 from repro.tune.db import TuningDB, TuningRecord
 from repro.tune.search import (
     DEFAULT_MAX_CANDIDATES,
@@ -56,6 +59,20 @@ def check_policy(policy: str) -> None:
         )
 
 
+def interpolation_seeds(record: TuningRecord) -> list[Candidate]:
+    """A neighbor record's surviving shortlist — the interpolation seeds.
+
+    Every trace entry that was actually scored (``sim_time`` set: simulated,
+    replayed, interpolated or kept at its deadline-analytic estimate) is a
+    candidate worth re-ranking at a nearby ``n``; pruned entries already
+    lost at *their* n and stay out.  Sorted by candidate key so the seed
+    order — and therefore the warm-started search — is deterministic.
+    """
+    return sorted((t.candidate for t in record.trace
+                   if t.sim_time is not None),
+                  key=lambda c: c.key)
+
+
 class Tuner:
     """Policy-driven configuration search with a persistent warm-start db."""
 
@@ -64,7 +81,8 @@ class Tuner:
                  shortlist: int = DEFAULT_SHORTLIST,
                  max_candidates: int = DEFAULT_MAX_CANDIDATES,
                  seed: int = 0,
-                 replay: str = "off"):
+                 replay: str = "off",
+                 graph_store=None):
         check_policy(policy)
         self.db = db if db is not None else TuningDB()
         self.policy = policy
@@ -78,12 +96,31 @@ class Tuner:
         #: candidate's event graph and replay it when the same workload is
         #: re-tuned under different fabric constants (e.g. a sweep).
         self.replay = replay
+        #: Optional :class:`repro.tune.graphstore.GraphStore` backing the
+        #: in-memory graph cache: recorded graphs for a workload are loaded
+        #: from disk on first search and persisted after each search, so a
+        #: *fresh process* warm-starts its shortlist scoring through replay
+        #: instead of full simulation.  Providing a store implies
+        #: ``replay="auto"`` unless the caller forced a mode.
+        self.graph_store = graph_store
+        if graph_store is not None and replay == "off":
+            self.replay = "auto"
         self.graph_cache: dict = {}
+        self._loaded_workloads: set[str] = set()
+        #: Counter guard: tuners are shared across service worker threads,
+        #: and ``+=`` on attributes is a read-modify-write race.
+        self._counter_lock = threading.Lock()
         #: Simulator invocations across this tuner's lifetime (warm starts
         #: add zero — the warm-start tests assert exactly that).
         self.simulations = 0
         #: Shortlist scorings served by graph replay instead of simulation.
         self.replays = 0
+        #: Replays cut short by the incumbent deadline (early abort).
+        self.replay_aborts = 0
+        #: Recorded graphs loaded from the graph store (cross-process reuse).
+        self.replay_loads = 0
+        #: Searches that ran on an interpolated (seeded) shortlist.
+        self.interpolations = 0
 
     # -- kernel entry points ---------------------------------------------------
 
@@ -133,26 +170,99 @@ class Tuner:
                     f"run a search first (policy 'auto' or the CLI) or point "
                     f"tune_db at a populated database"
                 )
-        outcome = self._search(sig, params=params, machine=machine)
-        record = self._record(sig, outcome)
+        record = self.search_record(sig, params=params, machine=machine)
+        self.db.insert(record)
+        return record
+
+    def search_record(self, sig: WorkloadSignature, *,
+                      params: NetworkParams | None = None,
+                      machine: MachineParams | None = None,
+                      seed_shortlist: list[Candidate] | None = None,
+                      ) -> TuningRecord:
+        """Run the search and build the record **without inserting it**.
+
+        The service commits records itself in deterministic first-miss
+        order (generation stamps appear in the db bytes); callers that
+        want the plain insert-on-search behavior use :meth:`tune`.
+        ``seed_shortlist`` enables an interpolation warm start (see
+        :func:`repro.tune.search.search`).
+        """
+        outcome = self._search(sig, params=params, machine=machine,
+                               seed_shortlist=seed_shortlist)
+        return self._record(sig, outcome)
+
+    def interpolate_from(self, sig: WorkloadSignature,
+                         neighbor: TuningRecord, *,
+                         params: NetworkParams | None = None,
+                         machine: MachineParams | None = None,
+                         ) -> TuningRecord:
+        """Tune ``sig`` by warm-starting from a nearby workload's record.
+
+        The neighbor's surviving shortlist (every trace entry that was
+        actually scored, ``sim_time`` set) seeds stage 2; stage 1's full
+        enumeration still runs (it is microseconds and provides validity
+        filtering plus the trace), but only the re-ranked seeds are
+        simulated/replayed.  The result is inserted under ``sig``'s key
+        with ``interpolated`` statuses.  This is the serial twin of the
+        service's interpolation path — the byte-identity tests compare
+        the two.
+        """
+        seeds = interpolation_seeds(neighbor)
+        record = self.search_record(sig, params=params, machine=machine,
+                                    seed_shortlist=seeds)
         self.db.insert(record)
         return record
 
     def _search(self, sig: WorkloadSignature, *,
                 params: NetworkParams | None,
-                machine: MachineParams | None) -> SearchOutcome:
+                machine: MachineParams | None,
+                seed_shortlist: list[Candidate] | None = None,
+                ) -> SearchOutcome:
         candidates = enumerate_candidates(sig, machine=machine)
         default = paper_default_candidate(sig)
+        loaded = self._load_graphs(sig)
         outcome = search(
             sig, candidates, default, params=params, machine=machine,
             shortlist=self.shortlist, max_candidates=self.max_candidates,
             seed=self.seed, model_only=(self.policy == "model-only"),
             exhaustive=(self.policy == "exhaustive"),
             replay=self.replay, graph_cache=self.graph_cache,
+            seed_shortlist=seed_shortlist,
         )
-        self.simulations += outcome.simulations
-        self.replays += outcome.replays
+        self._persist_graphs(sig)
+        with self._counter_lock:
+            self.simulations += outcome.simulations
+            self.replays += outcome.replays
+            self.replay_aborts += outcome.replay_aborts
+            self.replay_loads += loaded
+            if outcome.interpolated:
+                self.interpolations += 1
         return outcome
+
+    def _load_graphs(self, sig: WorkloadSignature) -> int:
+        """Pull persisted recordings for ``sig``'s workload into the cache."""
+        if self.graph_store is None or self.replay == "off":
+            return 0
+        wl = sig.workload_key
+        with self._counter_lock:
+            if wl in self._loaded_workloads:
+                return 0
+            self._loaded_workloads.add(wl)
+        loaded = 0
+        for cand_key, rec in self.graph_store.load(wl).items():
+            if self.graph_cache.setdefault((wl, cand_key), rec) is rec:
+                loaded += 1
+        return loaded
+
+    def _persist_graphs(self, sig: WorkloadSignature) -> None:
+        """Write this workload's recorded graphs back to the store."""
+        if self.graph_store is None or self.replay == "off":
+            return
+        wl = sig.workload_key
+        graphs = {ck: g for (w, ck), g in list(self.graph_cache.items())
+                  if w == wl and g.valid}
+        if graphs:
+            self.graph_store.save(wl, graphs)
 
     def _record(self, sig: WorkloadSignature,
                 outcome: SearchOutcome) -> TuningRecord:

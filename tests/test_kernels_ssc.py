@@ -2,9 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.kernels import run_ssc, ssc_flops
+from repro.tune.validity import min_block_elems
 
 from tests.conftest import symmetric
 
@@ -63,6 +64,10 @@ class TestCorrectness:
     @given(n=st.integers(4, 40), p=st.integers(1, 3),
            nd=st.integers(1, 4), seed=st.integers(0, 2**31))
     def test_property_random_symmetric(self, n, p, nd, seed):
+        # Only generate configurations the shared validity rules admit:
+        # N_DUP may not exceed the smallest communicated block (e.g. n=4,
+        # p=3 leaves 1-element blocks, so nd>=2 is rejected by run_ssc).
+        assume(nd <= min_block_elems(n, p))
         rng = np.random.default_rng(seed)
         d = symmetric(rng, n)
         out = run_ssc(p, n, "optimized", d, n_dup=nd)
