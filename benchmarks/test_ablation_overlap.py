@@ -1,0 +1,15 @@
+"""Ablation — measured comm-comm overlap: plain vs pipelined SUMMA.
+
+Regenerates the traced p=4 / n=2048 variant sweep and asserts the
+measured-overlap targets: plain SUMMA's wires never carry two operations
+at once (comm-comm ~0) while every pipelined variant keeps well over the
+committed floor of its wire time multi-operation, with the 4-color
+schedule strictly above plain (the PR's gate).  The rendered rows are
+written to benchmarks/results/ablation-overlap.txt.
+"""
+
+from conftest import run_paper_experiment
+
+
+def test_ablation_overlap(benchmark):
+    run_paper_experiment(benchmark, "ablation-overlap", quick=True)

@@ -1,0 +1,62 @@
+"""Post-hoc analytics over simulated runs: timelines, overlap, calibration.
+
+Three layers, each consuming the instrumentation the simulator already
+emits (:class:`~repro.sim.trace.Trace` spans and
+:meth:`~repro.netmodel.fabric.Fabric.flow_records`):
+
+:mod:`repro.analytics.timeline`
+    Per-(link, channel) busy/idle interval sets, utilization, idle-gap
+    statistics and per-rank span breakdowns — exact half-open interval
+    arithmetic, no sampling.
+
+:mod:`repro.analytics.overlap`
+    The paper's headline quantities, measured instead of asserted:
+    comm-comm overlap fraction (≥2 operations' flows sharing an instant),
+    comm-compute overlap fraction, and a serialization score against the
+    ideally pipelined schedule.  :class:`OverlapReport` is what the bench
+    harness surfaces as ``sim_stats["overlap"]``.
+
+:mod:`repro.analytics.calibrate`
+    Fits ``NetworkParams`` constants to measured timelines by re-pricing
+    recorded event graphs (PR 6 replay) over dense constant sweeps —
+    zero extra simulator runs — plus the CI drift gate that keeps the
+    closed-form alpha-beta models honest against the simulator.
+
+``python -m repro.analytics`` exposes all three as a CLI.
+"""
+
+from repro.analytics.calibrate import (
+    CalibrationObservation,
+    FitResult,
+    calibrate_synthetic,
+    fit_fabric_constants,
+    model_drift,
+)
+from repro.analytics.overlap import (
+    OverlapReport,
+    compute_overlap,
+    overlap_report_for_world,
+)
+from repro.analytics.timeline import (
+    LinkKey,
+    LinkTimeline,
+    build_link_timelines,
+    find_last_active,
+    rank_breakdown,
+)
+
+__all__ = [
+    "CalibrationObservation",
+    "FitResult",
+    "LinkKey",
+    "LinkTimeline",
+    "OverlapReport",
+    "build_link_timelines",
+    "calibrate_synthetic",
+    "compute_overlap",
+    "find_last_active",
+    "fit_fabric_constants",
+    "model_drift",
+    "overlap_report_for_world",
+    "rank_breakdown",
+]

@@ -1,0 +1,213 @@
+"""CLI: ``python -m repro.analytics {timeline,overlap,calibrate}``.
+
+``timeline``
+    Run one workload with tracing and print the per-(link, channel)
+    utilization table: flows, bytes, busy time, utilization, largest idle
+    gap and the per-link overlap fractions, plus the last-active link.
+
+``overlap``
+    Same run, reduced to the run-level :class:`OverlapReport`: comm-comm
+    and comm-compute overlap fractions, serialization score, per-rank
+    post/wait/compute breakdown.
+
+``calibrate``
+    Default mode runs the synthetic recovery loop (inject perturbed
+    fabric constants, fit them back by replay re-pricing) and reports the
+    fitted constants, residuals and recovery error; ``--check`` addition-
+    ally fails (exit 1) if recovery exceeds ``--tolerance``.  ``--drift``
+    runs the analytic-vs-simulated drift gate over the pinned quick
+    workloads instead.  ``--out PATH`` writes the fitted constants (or
+    drift rows) as a JSON artifact.
+
+Both workload subcommands share ``--workload {ssc,summa}`` plus shape
+flags; every subcommand accepts ``--format {text,json}``.  Exit 0 on
+success, 1 on a failed gate, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _add_workload_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", choices=("ssc", "summa"), default="summa",
+                   help="kernel to run under tracing (default: summa)")
+    p.add_argument("--algorithm", default=None,
+                   help="variant: ssc original/baseline/optimized, summa "
+                        "plain/streaming/colored (defaults: optimized, "
+                        "streaming)")
+    p.add_argument("--p", type=int, default=4, help="mesh side (default 4)")
+    p.add_argument("--n", type=int, default=None,
+                   help="matrix dimension (defaults: ssc 480, summa 1024)")
+    p.add_argument("--n-dup", type=int, default=2, dest="n_dup",
+                   help="SSC pipeline duplicates (default 2)")
+    p.add_argument("--colors", type=int, default=2,
+                   help="colored-SUMMA lane count (default 2)")
+    p.add_argument("--depth", type=int, default=2,
+                   help="pipelined-SUMMA window depth (default 2)")
+
+
+def _add_format_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+
+
+def _run_workload(args):
+    """Run the selected workload with tracing; return its OverlapReport."""
+    from repro.analytics.overlap import overlap_report_for_world
+
+    if args.workload == "ssc":
+        from repro.kernels.symmsquarecube import run_ssc
+
+        algorithm = args.algorithm or "optimized"
+        n = args.n or 480
+        res = run_ssc(args.p, n, algorithm, n_dup=args.n_dup, iterations=1,
+                      trace=True)
+    else:
+        from repro.dense.summa import run_summa
+
+        algorithm = args.algorithm or "streaming"
+        n = args.n or 1024
+        kwargs = {}
+        if algorithm == "colored":
+            kwargs["colors"] = args.colors
+        if algorithm in ("streaming", "colored"):
+            kwargs["depth"] = args.depth
+        res = run_summa(args.p, n, algorithm=algorithm, trace=True, **kwargs)
+    return overlap_report_for_world(res.world)
+
+
+def _print_timeline(report) -> None:
+    print(f"{'link':24s} {'flows':>6s} {'MB':>9s} {'busy(ms)':>9s} "
+          f"{'util':>6s} {'gap(us)':>8s} {'ov2':>6s} {'multi-op':>8s}")
+    for label, tl in sorted(report.links.items()):
+        print(f"{label:24s} {tl.flows:6d} {tl.nbytes / 1e6:9.2f} "
+              f"{tl.busy_time * 1e3:9.3f} {tl.utilization:6.3f} "
+              f"{tl.largest_gap * 1e6:8.1f} {tl.flow_overlap_fraction:6.3f} "
+              f"{tl.comm_comm_overlap_fraction:8.3f}")
+    print(f"last active: {report.last_active_link} "
+          f"at {report.last_active_time * 1e3:.3f} ms")
+
+
+def _print_overlap(report) -> None:
+    print(f"horizon             {report.horizon * 1e3:10.3f} ms")
+    print(f"comm busy           {report.comm_busy_time * 1e3:10.3f} ms")
+    print(f"compute busy        {report.compute_busy_time * 1e3:10.3f} ms")
+    print(f"comm-comm overlap   {report.comm_comm_overlap_fraction:10.3f}")
+    print(f"flow overlap        {report.flow_overlap_fraction:10.3f}")
+    print(f"comm-compute overlap{report.comm_compute_overlap_fraction:10.3f}")
+    print(f"serialization score {report.serialization_score:10.3f}")
+    print(f"flows               {report.total_flows:10d}")
+    for rank, kinds in report.breakdown.items():
+        parts = " ".join(f"{k}={v * 1e3:.3f}ms"
+                         for k, v in sorted(kinds.items()) if v > 0.0)
+        print(f"  r{rank}: {parts}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analytics",
+        description="Link-utilization timelines, overlap-fraction metrics "
+                    "and replay-backed model calibration.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    tl_p = sub.add_parser("timeline",
+                          help="per-link utilization table of one traced run")
+    _add_workload_options(tl_p)
+    _add_format_option(tl_p)
+
+    ov_p = sub.add_parser("overlap",
+                          help="overlap-fraction report of one traced run")
+    _add_workload_options(ov_p)
+    _add_format_option(ov_p)
+
+    cal_p = sub.add_parser(
+        "calibrate",
+        help="synthetic constant-recovery fit / analytic drift gate")
+    cal_p.add_argument("--drift", action="store_true",
+                       help="run the analytic-vs-simulated drift gate "
+                            "instead of the synthetic recovery loop")
+    cal_p.add_argument("--check", action="store_true",
+                       help="exit 1 when recovery exceeds --tolerance "
+                            "(or any drift band is violated)")
+    cal_p.add_argument("--tolerance", type=float, default=0.05,
+                       help="max allowed recovery relative error with "
+                            "--check (default 0.05)")
+    cal_p.add_argument("--out", default=None,
+                       help="write the JSON artifact (fitted constants or "
+                            "drift rows) to this path")
+    _add_format_option(cal_p)
+
+    args = parser.parse_args(argv)
+
+    if args.command in ("timeline", "overlap"):
+        try:
+            report = _run_workload(args)
+        except ValueError as exc:
+            print(f"repro.analytics {args.command}: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            payload = report.to_jsonable()
+            if args.command == "timeline":
+                payload = {"links": payload["links"],
+                           "last_active_link": payload["last_active_link"],
+                           "last_active_time": payload["last_active_time"]}
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        elif args.command == "timeline":
+            _print_timeline(report)
+        else:
+            _print_overlap(report)
+        return 0
+
+    if args.command == "calibrate":
+        from repro.analytics.calibrate import calibrate_synthetic, model_drift
+
+        if args.drift:
+            rows = model_drift()
+            ok = all(r["ok"] for r in rows)
+            payload = {"cases": rows, "ok": ok}
+            if args.format == "json":
+                print(json.dumps(payload, indent=1, sort_keys=True))
+            else:
+                for r in rows:
+                    verdict = "ok" if r["ok"] else "FAIL"
+                    print(f"{r['name']:18s} sim={r['simulated'] * 1e3:9.3f}ms "
+                          f"analytic={r['analytic'] * 1e3:9.3f}ms "
+                          f"drift={r['drift']:+7.3f} band={r['band']:.2f} "
+                          f"{verdict}")
+                print(f"drift gate: {'ok' if ok else 'FAILED'}")
+            if args.out:
+                with open(args.out, "w") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+            return 0 if (ok or not args.check) else 1
+
+        result = calibrate_synthetic()
+        ok = result["max_recovery_rel_error"] <= args.tolerance
+        if args.format == "json":
+            print(json.dumps(result, indent=1, sort_keys=True))
+        else:
+            for f in result["fields"]:
+                print(f"{f:24s} true={result['true'][f]:.6g} "
+                      f"fitted={result['fitted'][f]:.6g} "
+                      f"rel err={result['recovery_rel_error'][f]:.3g}")
+            fit = result["fit"]
+            print(f"replays={fit['replays']} iterations={fit['iterations']} "
+                  f"converged={fit['converged']} "
+                  f"sim runs={result['sim_runs']} (observations only)")
+            print(f"recovery: max rel err "
+                  f"{result['max_recovery_rel_error']:.3g} "
+                  f"({'ok' if ok else 'FAILED'} at tol {args.tolerance})")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(result, fh, indent=1, sort_keys=True)
+        return 0 if (ok or not args.check) else 1
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,204 @@
+"""Overlap-fraction metrics: quantify *where the wire time went*.
+
+The paper's claim is that overlapping communications with other
+communications moves time off the critical path; this module turns a run's
+flow records and trace spans into the three numbers that test the claim:
+
+``comm_comm_overlap_fraction``
+    Of the aggregate per-wire busy time, the fraction during which flows of
+    **two or more distinct operations** (communicators — each collective or
+    communicator duplicate is one operation) shared the *same physical
+    wire* at the same instant.  This is the paper's comm-comm overlap,
+    measured instead of asserted: plain blocking schedules serialize
+    operations on every wire (fraction near zero), pipelined schedules
+    keep several collectives' traffic concurrent per wire — fair-sharing
+    one lane (streaming) or riding disjoint color lanes of the same NIC
+    (colored).  The accounting is deliberately per *wire*, not per lane:
+    coloring exists precisely so concurrent operations never share a lane,
+    so a lane-level metric would read 0 for the most overlapped schedule.
+    (Distinct operations active on *disjoint* wires are spatial
+    parallelism, not overlap — they are excluded too.)  Lane-level
+    fractions remain available per :class:`~repro.analytics.timeline.LinkTimeline`.
+
+``comm_compute_overlap_fraction``
+    Of the comm-busy time, the fraction during which at least one rank was
+    simultaneously inside a COMPUTE span — how much wire time hid behind
+    local GEMMs (the T3/fused-collective view).
+
+``serialization_score``
+    The run's communication horizon divided by the bottleneck link's busy
+    time.  An ideally pipelined schedule keeps its bottleneck link
+    continuously busy (score → 1.0); a fully serialized schedule idles the
+    bottleneck between phases (score ≫ 1).
+
+All three are derived from exact interval arithmetic
+(:mod:`repro.analytics.timeline`); no sampling, no binning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.timeline import (
+    build_link_timelines,
+    find_last_active,
+    intersect_intervals,
+    merge_intervals,
+    multiplicity_intervals,
+    rank_breakdown,
+    total_measure,
+)
+from repro.sim.trace import SpanKind, Trace
+
+__all__ = ["OverlapReport", "compute_overlap", "overlap_report_for_world"]
+
+
+@dataclass
+class OverlapReport:
+    """Structured overlap accounting of one run (see module docstring)."""
+
+    t_first: float = 0.0           #: first wire activity
+    t_last: float = 0.0            #: last wire activity
+    comm_busy_time: float = 0.0    #: union of all flow intervals (wall clock)
+    wire_busy_time: float = 0.0    #: Σ over physical wires of busy time
+    compute_busy_time: float = 0.0  #: union of all COMPUTE spans
+    comm_comm_overlap_time: float = 0.0   #: Σ wires: ≥2 distinct ops share it
+    flow_overlap_time: float = 0.0        #: Σ wires: ≥2 flows share it
+    comm_compute_overlap_time: float = 0.0  #: wire ∩ compute (wall clock)
+    serialization_score: float = 0.0
+    total_flows: int = 0
+    total_bytes: float = 0.0
+    links: dict = field(default_factory=dict)  #: label -> LinkTimeline
+    breakdown: dict = field(default_factory=dict)  #: rank -> kind -> seconds
+    last_active_link: str | None = None
+    last_active_time: float = 0.0
+
+    @property
+    def horizon(self) -> float:
+        return self.t_last - self.t_first
+
+    @property
+    def comm_comm_overlap_fraction(self) -> float:
+        b = self.wire_busy_time
+        return self.comm_comm_overlap_time / b if b > 0.0 else 0.0
+
+    @property
+    def flow_overlap_fraction(self) -> float:
+        b = self.wire_busy_time
+        return self.flow_overlap_time / b if b > 0.0 else 0.0
+
+    @property
+    def comm_compute_overlap_fraction(self) -> float:
+        b = self.comm_busy_time
+        return self.comm_compute_overlap_time / b if b > 0.0 else 0.0
+
+    def to_jsonable(self) -> dict:
+        """JSON-ready dict (the ``--format json`` CLI payload)."""
+        return {
+            "t_first": self.t_first,
+            "t_last": self.t_last,
+            "horizon": self.horizon,
+            "comm_busy_time": self.comm_busy_time,
+            "wire_busy_time": self.wire_busy_time,
+            "compute_busy_time": self.compute_busy_time,
+            "comm_comm_overlap_time": self.comm_comm_overlap_time,
+            "comm_comm_overlap_fraction": self.comm_comm_overlap_fraction,
+            "flow_overlap_time": self.flow_overlap_time,
+            "flow_overlap_fraction": self.flow_overlap_fraction,
+            "comm_compute_overlap_time": self.comm_compute_overlap_time,
+            "comm_compute_overlap_fraction": self.comm_compute_overlap_fraction,
+            "serialization_score": self.serialization_score,
+            "total_flows": self.total_flows,
+            "total_bytes": self.total_bytes,
+            "last_active_link": self.last_active_link,
+            "last_active_time": self.last_active_time,
+            "links": {label: tl.to_jsonable()
+                      for label, tl in sorted(self.links.items())},
+            "breakdown": {str(rank): kinds
+                          for rank, kinds in self.breakdown.items()},
+        }
+
+    def summary(self) -> dict:
+        """The scalar metrics only (what ``sim_stats["overlap"]`` carries)."""
+        return {
+            "comm_comm_overlap_fraction": self.comm_comm_overlap_fraction,
+            "flow_overlap_fraction": self.flow_overlap_fraction,
+            "comm_compute_overlap_fraction": self.comm_compute_overlap_fraction,
+            "serialization_score": self.serialization_score,
+            "comm_busy_time": self.comm_busy_time,
+            "wire_busy_time": self.wire_busy_time,
+            "total_flows": self.total_flows,
+        }
+
+
+def compute_overlap(flow_records, trace: Trace | None = None) -> OverlapReport:
+    """Build an :class:`OverlapReport` from flow records (and a trace).
+
+    ``flow_records`` feed the wire-side metrics; the optional ``trace``
+    adds the compute side (COMPUTE spans) and the per-rank breakdown.
+    """
+    report = OverlapReport()
+    recs = list(flow_records)
+    report.total_flows = len(recs)
+    report.total_bytes = sum(r.nbytes for r in recs)
+
+    timelines = build_link_timelines(recs)
+    report.links = {key.label: tl for key, tl in timelines.items()}
+
+    comm_busy = merge_intervals((r.t_start, r.t_end) for r in recs)
+    report.comm_busy_time = total_measure(comm_busy)
+    if comm_busy:
+        report.t_first = comm_busy[0][0]
+        report.t_last = comm_busy[-1][1]
+
+    # Overlap is accounted per physical wire: lanes (channels) of one
+    # src->dst path share the NIC, so distinct operations on different
+    # lanes of one wire *are* overlapped communications, while operations
+    # on disjoint wires are mere spatial parallelism and count for
+    # nothing.
+    per_wire: dict = {}
+    for r in recs:
+        kind = "shm" if r.src_node == r.dst_node else "wire"
+        per_wire.setdefault((kind, r.src_node, r.dst_node), []).append(r)
+    for wrecs in per_wire.values():
+        busy = merge_intervals((r.t_start, r.t_end) for r in wrecs)
+        report.wire_busy_time += total_measure(busy)
+        tagged = [(r.t_start, r.t_end, r.op) for r in wrecs]
+        report.flow_overlap_time += total_measure(
+            multiplicity_intervals(tagged, threshold=2))
+        report.comm_comm_overlap_time += total_measure(
+            multiplicity_intervals(tagged, threshold=2, distinct_key=True))
+
+    bottleneck = max((tl.busy_time for tl in timelines.values()), default=0.0)
+    report.serialization_score = (
+        report.horizon / bottleneck if bottleneck > 0.0 else 0.0
+    )
+
+    key, t_last = find_last_active(timelines)
+    report.last_active_link = key.label if key is not None else None
+    report.last_active_time = t_last
+
+    if trace is not None:
+        compute_busy = merge_intervals(
+            (r.t0, r.t1) for r in trace.of_kind(SpanKind.COMPUTE))
+        report.compute_busy_time = total_measure(compute_busy)
+        report.comm_compute_overlap_time = total_measure(
+            intersect_intervals(comm_busy, compute_busy))
+        report.breakdown = rank_breakdown(trace)
+    return report
+
+
+def overlap_report_for_world(world) -> OverlapReport:
+    """Overlap accounting of a finished :class:`~repro.mpi.world.World`.
+
+    Requires the world to have run with ``trace=True`` (flow records are
+    only collected alongside a live trace); raises :class:`ValueError`
+    otherwise, because silently returning an all-zero report would read as
+    "no overlap measured" instead of "nothing was measured".
+    """
+    if world.fabric.flow_log is None:
+        raise ValueError(
+            "world has no flow records — run it with trace=True so the "
+            "fabric collects per-flow link occupancy"
+        )
+    return compute_overlap(world.fabric.flow_records(), world.trace)

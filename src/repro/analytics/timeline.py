@@ -1,0 +1,338 @@
+"""Per-link utilization timelines from fabric flow records and trace spans.
+
+The simulator already *observes* everything the paper's argument needs —
+which flow occupied which link, on which lane, from when to when — but
+until now nothing turned those observations into accounting.  This module
+is the programmatic equivalent of the related work's
+``parse_color_link_timeline.py`` / ``find_last_active.py`` scripts: it
+consumes :meth:`repro.netmodel.fabric.Fabric.flow_records` (one
+:class:`~repro.netmodel.fabric.FlowRecord` per completed flow, collected
+whenever a live trace is attached) and produces
+
+* per-(link, channel) **busy/idle interval sets** with utilization,
+  byte/flow counts, the largest idle gap and a log2 gap histogram,
+* **concurrency measures** — how long ≥2 flows, and ≥2 distinct
+  *operations* (communicators), shared the link at one instant — the raw
+  material of :mod:`repro.analytics.overlap`'s comm-comm overlap fractions,
+* per-rank **post/wait/compute/transfer breakdowns** from
+  :class:`~repro.sim.trace.Trace` spans (the Fig. 6 view, tabulated).
+
+All intervals are half-open ``[t0, t1)`` in simulated seconds.  Interval
+arithmetic is exact: no epsilons, no rounding — two flows "share an
+instant" iff their half-open intervals intersect with positive measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, NamedTuple
+
+from repro.sim.trace import SpanKind, Trace
+
+__all__ = [
+    "LinkKey",
+    "LinkTimeline",
+    "build_link_timelines",
+    "find_last_active",
+    "gap_histogram",
+    "interval_complement",
+    "intersect_intervals",
+    "merge_intervals",
+    "multiplicity_intervals",
+    "rank_breakdown",
+    "total_measure",
+]
+
+
+# ---------------------------------------------------------------------------
+# interval algebra (half-open, exact)
+# ---------------------------------------------------------------------------
+
+
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of half-open intervals as a sorted, disjoint, merged list.
+
+    Zero-measure intervals (``t0 == t1``) are dropped — they occupy no
+    instant.  Touching intervals (``a.t1 == b.t0``) merge: the union of
+    half-open intervals is itself half-open.
+    """
+    ivs = sorted((t0, t1) for t0, t1 in intervals if t1 > t0)
+    if not ivs:
+        return []
+    out = [ivs[0]]
+    for t0, t1 in ivs[1:]:
+        lo, hi = out[-1]
+        if t0 <= hi:
+            if t1 > hi:
+                out[-1] = (lo, t1)
+        else:
+            out.append((t0, t1))
+    return out
+
+
+def total_measure(merged: list[tuple[float, float]]) -> float:
+    """Total length of a merged interval list."""
+    return sum(t1 - t0 for t0, t1 in merged)
+
+
+def intersect_intervals(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Intersection of two merged interval lists (two-pointer sweep)."""
+    out: list[tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            out.append((lo, hi))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def interval_complement(
+    merged: list[tuple[float, float]], lo: float, hi: float
+) -> list[tuple[float, float]]:
+    """Idle gaps: the complement of ``merged`` within ``[lo, hi)``."""
+    out: list[tuple[float, float]] = []
+    cur = lo
+    for t0, t1 in merged:
+        if t0 > cur:
+            out.append((cur, min(t0, hi)))
+        cur = max(cur, t1)
+        if cur >= hi:
+            break
+    if cur < hi:
+        out.append((cur, hi))
+    return [(a, b) for a, b in out if b > a]
+
+
+def multiplicity_intervals(
+    intervals: Iterable[tuple[float, float, object]],
+    threshold: int = 2,
+    distinct_key: bool = False,
+) -> list[tuple[float, float]]:
+    """Instants where ≥ ``threshold`` intervals are simultaneously active.
+
+    Each input is ``(t0, t1, key)``.  With ``distinct_key=True`` the count
+    is over *distinct keys* active at the instant (two flows of the same
+    operation do not make the operation overlap itself); otherwise every
+    interval counts individually.  Returns a merged interval list.
+    """
+    events: list[tuple[float, int, object]] = []
+    for t0, t1, key in intervals:
+        if t1 > t0:
+            events.append((t0, 1, key))
+            events.append((t1, -1, key))
+    if not events:
+        return []
+    # Ends sort before starts at equal times: half-open intervals touching
+    # at t do not overlap at t.
+    events.sort(key=lambda e: (e[0], e[1]))
+    out: list[tuple[float, float]] = []
+    active: dict = {}
+    count = 0
+    above_since: float | None = None
+    for t, delta, key in events:
+        if distinct_key:
+            prev = active.get(key, 0)
+            nxt = prev + delta
+            if prev == 0 and nxt > 0:
+                count += 1
+            elif prev > 0 and nxt == 0:
+                count -= 1
+            if nxt:
+                active[key] = nxt
+            else:
+                active.pop(key, None)
+        else:
+            count += delta
+        if above_since is None and count >= threshold:
+            above_since = t
+        elif above_since is not None and count < threshold:
+            if t > above_since:
+                out.append((above_since, t))
+            above_since = None
+    return merge_intervals(out)
+
+
+def gap_histogram(gaps: list[tuple[float, float]]) -> dict[int, int]:
+    """Log2 histogram of idle-gap durations.
+
+    Bucket ``e`` counts gaps with ``2**e <= duration < 2**(e+1)`` seconds
+    (``e`` is ``floor(log2(duration))``, so microsecond gaps land around
+    ``-20``).  Returned sorted by bucket for deterministic rendering.
+    """
+    hist: dict[int, int] = {}
+    for t0, t1 in gaps:
+        d = t1 - t0
+        if d <= 0.0:
+            continue
+        e = math.floor(math.log2(d))
+        hist[e] = hist.get(e, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+# ---------------------------------------------------------------------------
+# per-link timelines
+# ---------------------------------------------------------------------------
+
+
+class LinkKey(NamedTuple):
+    """Identity of one directed link lane.
+
+    ``kind`` is ``"wire"`` (the src->dst inter-node NIC path) or ``"shm"``
+    (a node's shared-memory path, where ``src_node == dst_node``);
+    ``channel`` is the virtual lane (PR 8's per-channel split).
+    """
+
+    kind: str
+    src_node: int
+    dst_node: int
+    channel: int
+
+    @property
+    def label(self) -> str:
+        if self.kind == "shm":
+            return f"shm:n{self.src_node}/ch{self.channel}"
+        return f"n{self.src_node}->n{self.dst_node}/ch{self.channel}"
+
+
+@dataclass
+class LinkTimeline:
+    """Everything the analytics layer knows about one link lane."""
+
+    key: LinkKey
+    flows: int = 0                 #: completed flows on this lane
+    nbytes: float = 0.0            #: total payload bytes
+    busy: list = field(default_factory=list)       #: merged busy intervals
+    overlap2: list = field(default_factory=list)   #: ≥2 flows in flight
+    multi_op: list = field(default_factory=list)   #: ≥2 distinct ops in flight
+    t_first: float = 0.0           #: first instant any flow was active
+    t_last: float = 0.0            #: last instant any flow was active
+
+    @property
+    def busy_time(self) -> float:
+        return total_measure(self.busy)
+
+    @property
+    def span(self) -> float:
+        """The link's own activity horizon ``t_last - t_first``."""
+        return self.t_last - self.t_first
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the link's own activity horizon."""
+        return self.busy_time / self.span if self.span > 0.0 else 0.0
+
+    @property
+    def idle_gaps(self) -> list[tuple[float, float]]:
+        """Idle intervals strictly inside ``[t_first, t_last)``."""
+        return interval_complement(self.busy, self.t_first, self.t_last)
+
+    @property
+    def largest_gap(self) -> float:
+        return max((t1 - t0 for t0, t1 in self.idle_gaps), default=0.0)
+
+    @property
+    def comm_comm_overlap_fraction(self) -> float:
+        """Fraction of busy time during which ≥2 operations' flows shared
+        the lane — the per-link comm-comm overlap metric."""
+        b = self.busy_time
+        return total_measure(self.multi_op) / b if b > 0.0 else 0.0
+
+    @property
+    def flow_overlap_fraction(self) -> float:
+        """Fraction of busy time with ≥2 flows in flight (any operations)."""
+        b = self.busy_time
+        return total_measure(self.overlap2) / b if b > 0.0 else 0.0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "link": self.key.label,
+            "flows": self.flows,
+            "nbytes": self.nbytes,
+            "busy_time": self.busy_time,
+            "utilization": self.utilization,
+            "t_first": self.t_first,
+            "t_last": self.t_last,
+            "largest_gap": self.largest_gap,
+            "gap_histogram": {str(k): v
+                              for k, v in gap_histogram(self.idle_gaps).items()},
+            "comm_comm_overlap_fraction": self.comm_comm_overlap_fraction,
+            "flow_overlap_fraction": self.flow_overlap_fraction,
+        }
+
+
+def _link_key(rec) -> LinkKey:
+    if rec.src_node == rec.dst_node:
+        return LinkKey("shm", rec.src_node, rec.dst_node, rec.channel)
+    return LinkKey("wire", rec.src_node, rec.dst_node, rec.channel)
+
+
+def build_link_timelines(flow_records) -> dict[LinkKey, LinkTimeline]:
+    """Group completed flows into per-(link, channel) timelines.
+
+    ``flow_records`` is an iterable of
+    :class:`~repro.netmodel.fabric.FlowRecord` (or any object with the same
+    fields).  Zero-duration flows (zero-byte control messages) contribute
+    to flow counts but occupy no instant.
+    """
+    per_link: dict[LinkKey, list] = {}
+    for rec in flow_records:
+        per_link.setdefault(_link_key(rec), []).append(rec)
+    out: dict[LinkKey, LinkTimeline] = {}
+    for key in sorted(per_link):
+        recs = per_link[key]
+        tl = LinkTimeline(key=key)
+        tl.flows = len(recs)
+        tl.nbytes = sum(r.nbytes for r in recs)
+        ivs = [(r.t_start, r.t_end) for r in recs]
+        tl.busy = merge_intervals(ivs)
+        if tl.busy:
+            tl.t_first = tl.busy[0][0]
+            tl.t_last = tl.busy[-1][1]
+        tagged = [(r.t_start, r.t_end, r.op) for r in recs]
+        tl.overlap2 = multiplicity_intervals(tagged, threshold=2)
+        tl.multi_op = multiplicity_intervals(tagged, threshold=2,
+                                             distinct_key=True)
+        out[key] = tl
+    return out
+
+
+def find_last_active(timelines: dict[LinkKey, LinkTimeline]) -> tuple[LinkKey | None, float]:
+    """The link that carried the final byte of the run (and when).
+
+    The related work's ``find_last_active.py`` uses this to spot the drain
+    phase of a pipelined schedule: a single late lane means the last panels
+    ran alone on a fractional link.
+    """
+    best_key, best_t = None, 0.0
+    for key, tl in timelines.items():
+        if tl.flows and (best_key is None or tl.t_last > best_t):
+            best_key, best_t = key, tl.t_last
+    return best_key, best_t
+
+
+# ---------------------------------------------------------------------------
+# per-rank breakdowns (trace spans)
+# ---------------------------------------------------------------------------
+
+
+def rank_breakdown(trace: Trace) -> dict[int, dict[str, float]]:
+    """Per-rank total seconds spent in each span kind (post/wait/compute/...).
+
+    The tabulated form of the Fig. 6 time diagram: for every rank the sum
+    of POST, WAIT, COMPUTE, TRANSFER and MISC span durations.  TRANSFER
+    spans are attributed to the *sending* rank (where the fabric records
+    them).
+    """
+    out: dict[int, dict[str, float]] = {}
+    for r in trace.records:
+        per = out.setdefault(r.rank, {k.value: 0.0 for k in SpanKind})
+        per[r.kind.value] += r.duration
+    return {rank: out[rank] for rank in sorted(out)}

@@ -1,0 +1,141 @@
+"""Ablation — comm-comm overlap, *measured* instead of inferred from time.
+
+The table-6 sweep shows the pipelined SUMMA variants are faster than plain
+SUMMA; this ablation shows **why**, using the :mod:`repro.analytics` link
+accounting: it reruns the p=4 / n=2048 variants with tracing enabled and
+reports, per variant, the fraction of per-wire busy time during which
+flows of two or more distinct operations shared a wire (comm-comm
+overlap), the comm-compute overlap fraction, and the serialization score
+(communication horizon over bottleneck-link busy time; 1.0 = the
+bottleneck never idles).
+
+Targets: plain SUMMA's blocking broadcasts serialize every wire, so its
+comm-comm overlap is ~0 while every pipelined variant keeps a substantial
+fraction of wire time multi-operation; the colored-4 variant's comm-comm
+overlap is *strictly* higher than plain's (the PR's committed gate), and
+serialization scores order plain >> pipelined.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.overlap import overlap_report_for_world
+from repro.bench.harness import ExperimentOutput
+from repro.dense import run_summa
+from repro.util import Table
+
+#: Same bandwidth-bound configuration as the table-6 headline mesh.
+N = 2048
+P = 4
+
+#: label -> (algorithm, colors, depth); the table-6 variants that matter
+#: for the overlap story (one blocking baseline, one fair-sharing
+#: pipeline, two colored-lane pipelines).
+VARIANTS: dict[str, tuple[str, int, int]] = {
+    "plain": ("plain", 1, 1),
+    "stream-d4": ("streaming", 1, 4),
+    "col2-d4": ("colored", 2, 4),
+    "col4-d4": ("colored", 4, 4),
+}
+
+#: Minimum comm-comm overlap fraction every pipelined variant must show
+#: (measured ~0.6-0.7; plain measures exactly 0.0).
+PIPELINED_OVERLAP_FLOOR = 0.3
+
+
+def grid(quick: bool = False) -> list[str]:
+    """One point per variant (the sweep is small; quick == full)."""
+    return list(VARIANTS)
+
+
+def run_point(point: str, quick: bool = False) -> dict:
+    alg, colors, depth = VARIANTS[point]
+    res = run_summa(P, N, algorithm=alg, colors=colors, depth=depth,
+                    trace=True)
+    report = overlap_report_for_world(res.world)
+    return {
+        "elapsed": res.elapsed,
+        "overlap": report.summary(),
+        "last_active_link": report.last_active_link,
+    }
+
+
+def assemble(results: list[dict], quick: bool = False) -> ExperimentOutput:
+    values = dict(zip(grid(quick), results))
+    t = Table(
+        ["Variant", "ms", "comm-comm", "flow", "comm-compute",
+         "serialization", "flows"],
+        title=f"Ablation: measured overlap fractions, SUMMA {P}x{P}, n={N}",
+    )
+    for label, v in values.items():
+        m = v["overlap"]
+        t.add_row([
+            label,
+            v["elapsed"] * 1e3,
+            m["comm_comm_overlap_fraction"],
+            m["flow_overlap_fraction"],
+            m["comm_compute_overlap_fraction"],
+            m["serialization_score"],
+            m["total_flows"],
+        ])
+    return ExperimentOutput(
+        name="ablation-overlap",
+        tables=[t],
+        values=values,
+        notes=(
+            "comm-comm = fraction of per-wire busy time with >= 2 distinct\n"
+            "operations' flows sharing a wire; comm-compute = fraction of\n"
+            "comm-busy wall time under at least one COMPUTE span;\n"
+            "serialization = comm horizon / bottleneck-wire busy time\n"
+            "(1.0 = ideally pipelined).  See docs/analytics.md."
+        ),
+        sim_stats={
+            "overlap": {label: v["overlap"] for label, v in values.items()}
+        },
+    )
+
+
+def run(quick: bool = False) -> ExperimentOutput:
+    return assemble([run_point(pt, quick=quick) for pt in grid(quick)],
+                    quick=quick)
+
+
+def check(output: ExperimentOutput) -> None:
+    v = output.values
+
+    def frac(label: str) -> float:
+        return v[label]["overlap"]["comm_comm_overlap_fraction"]
+
+    def serial(label: str) -> float:
+        return v[label]["overlap"]["serialization_score"]
+
+    # The committed gate: the 4-color pipelined schedule measurably
+    # overlaps communications that plain SUMMA serializes.
+    assert frac("col4-d4") > frac("plain"), (
+        f"colored-4 comm-comm overlap {frac('col4-d4'):.3f} not above "
+        f"plain's {frac('plain'):.3f}"
+    )
+    # Blocking broadcasts leave no instant with two operations on a wire.
+    assert frac("plain") < 0.01, (
+        f"plain SUMMA shows comm-comm overlap {frac('plain'):.3f}; "
+        "expected ~0 for a fully serialized schedule"
+    )
+    for label in VARIANTS:
+        if label == "plain":
+            continue
+        assert frac(label) >= PIPELINED_OVERLAP_FLOOR, (
+            f"{label} comm-comm overlap {frac(label):.3f} below "
+            f"{PIPELINED_OVERLAP_FLOOR}"
+        )
+        # Overlap shows up as time: pipelined variants idle their
+        # bottleneck wire less than the blocking baseline.
+        assert serial(label) < serial("plain"), (
+            f"{label} serialization {serial(label):.2f} not below plain's "
+            f"{serial('plain'):.2f}"
+        )
+    # Overlap is not a free lunch detector: it must coexist with the
+    # table-6 timing story (pipelined variants are actually faster).
+    for label in VARIANTS:
+        if label != "plain":
+            assert v[label]["elapsed"] < v["plain"]["elapsed"], (
+                f"{label} slower than plain despite higher overlap"
+            )

@@ -81,6 +81,10 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
         "ablation_faults",
         "resilience of the overlap gains under injected fabric faults",
     ),
+    "ablation-overlap": (
+        "ablation_overlap",
+        "measured comm-comm overlap fraction: plain vs pipelined SUMMA",
+    ),
     "ablation-verify": (
         "ablation_verify",
         "runtime-verifier overhead: simulated time unchanged, wall cost only",
@@ -139,6 +143,19 @@ class ExperimentOutput:
                     f"{pc.get('misses', 0):,} misses, "
                     f"{pc.get('evictions', 0)} evictions, "
                     f"hit rate {pc.get('hit_rate', 0.0):.1%}\n"
+                )
+            ov = s.get("overlap")
+            if ov:
+                parts.append(
+                    "\n".join(
+                        f"overlap[{variant}]: "
+                        f"comm-comm {m['comm_comm_overlap_fraction']:.3f}, "
+                        f"comm-compute "
+                        f"{m['comm_compute_overlap_fraction']:.3f}, "
+                        f"serialization {m['serialization_score']:.2f}"
+                        for variant, m in ov.items()
+                    )
+                    + "\n"
                 )
             fab = s.get("fabric")
             # Only worth a line when traffic actually used extra channels;
@@ -280,9 +297,15 @@ def run_experiment(name: str, quick: bool = False, jobs: int = 1) -> ExperimentO
             raw = [_run_grid_point(p) for p in payloads]
         raw.sort(key=lambda r: r[0])  # grid order regardless of completion
         out = mod.assemble([r[1] for r in raw], quick=quick)
+        # ``assemble`` may surface derived per-run statistics (e.g. the
+        # overlap report) via sim_stats; merge the harness counters in
+        # without clobbering them.
+        extra = out.sim_stats
         out.sim_stats = _merge_point_stats(
             [r[2] for r in raw], [r[3] for r in raw], [r[4] for r in raw]
         )
+        if extra:
+            out.sim_stats.update(extra)
         return out
     Engine.reset_aggregate_stats()
     Fabric.reset_aggregate_stats()

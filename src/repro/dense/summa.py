@@ -223,6 +223,7 @@ def run_summa(
     tune_db=None,
     deadline: float | None = None,
     record: bool = False,
+    trace: bool = False,
 ) -> SummaResult:
     """Run one SUMMA product on a fresh world; assemble C in real mode.
 
@@ -235,7 +236,8 @@ def run_summa(
     virtual time and raises :class:`DeadlineExceeded` (tuner early
     termination); ``record=True`` captures the event dependency graph
     (colored runs record but are marked invalid — multi-channel flows are
-    not replayable).
+    not replayable); ``trace=True`` collects activity spans and per-flow
+    link occupancy, the inputs of :mod:`repro.analytics`.
 
     ``tune`` hands the variant/colors/depth/PPN choice to :mod:`repro.tune`:
     a :class:`~repro.tune.tuner.TuningPolicy` string builds a private
@@ -278,7 +280,7 @@ def run_summa(
     if (a is None) != (b is None):
         raise ValueError("pass both a and b, or neither")
     world = World(block_placement(p * p, 1 if ppn < 1 else ppn), params=params,
-                  machine=machine, record=record)
+                  machine=machine, record=record, trace=trace)
     if algorithm == "colored":
         mesh = Mesh2D(world, p, n_dup=colors, channels=tuple(range(colors)))
     else:

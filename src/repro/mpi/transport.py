@@ -45,9 +45,10 @@ from repro.sim.trace import SpanKind
 
 class _SendState:
     __slots__ = ("src", "dst", "nbytes", "data", "eager", "request", "arrived",
-                 "recv", "attempt", "rec_post", "rec_arr", "channel")
+                 "recv", "attempt", "rec_post", "rec_arr", "channel", "op")
 
-    def __init__(self, src, dst, nbytes, data, eager, request, channel=0):
+    def __init__(self, src, dst, nbytes, data, eager, request, channel=0,
+                 op=None):
         self.src = src
         self.dst = dst
         self.nbytes = nbytes
@@ -55,6 +56,9 @@ class _SendState:
         self.eager = eager
         self.request = request
         self.channel = channel     # fabric lane of the payload transfer
+        self.op = op               # (cid, tag) operation key (flow-log
+        #                            attribution: one collective instance or
+        #                            one p2p envelope stream per key)
         self.arrived = False       # eager payload landed before recv posted
         self.recv: Request | None = None
         self.attempt = 0           # dropped-transmission retry counter
@@ -110,7 +114,8 @@ class Transport:
         if label is None:
             label = self._send_labels[dst] = f"send->r{dst}"
         req = Request(self.world, src, label, done)
-        state = _SendState(src, dst, nbytes, data, eager, req, channel)
+        state = _SendState(src, dst, nbytes, data, eager, req, channel,
+                           (cid, tag))
         rec = self._engine.recorder
         if rec is not None:
             ctx = self._engine._rec_ctx
@@ -211,12 +216,14 @@ class Transport:
             world.fabric.transfer_cb(
                 state.src, state.dst, state.nbytes, 0.0,
                 self._eager_arrived, state, channel=state.channel,
+                op=state.op,
             )
         else:
             world.fabric.transfer_cb(
                 state.src, state.dst, state.nbytes,
                 self._params.rendezvous_extra,
                 self._rendezvous_done, state, channel=state.channel,
+                op=state.op,
             )
 
     def _eager_arrived(self, state: _SendState) -> None:

@@ -33,12 +33,19 @@ def t_bcast_scatter_allgather(
     """Long-message broadcast model (recursive-doubling / scatter-allgather).
 
     ``alpha*(log2(p) + p - 1) + 2*beta*(p-1)*n/p`` — §V-A of the paper.
+
+    Degenerate cases are explicit: ``p == 1`` has nobody to talk to
+    (0.0), and ``nbytes == 0`` pays only the latency term (bit-identical
+    to the full formula with a zero bandwidth term — the early return
+    documents the contract rather than changing it).
     """
     check_positive("p", p)
     if nbytes < 0:
         raise ValueError("nbytes must be >= 0")
     if p == 1:
         return 0.0
+    if nbytes == 0:
+        return alpha * (math.log2(p) + p - 1)
     return alpha * (math.log2(p) + p - 1) + 2.0 * beta * (p - 1) * nbytes / p
 
 
@@ -47,12 +54,17 @@ def t_reduce_rabenseifner(nbytes: float, p: int, alpha: float, beta: float) -> f
 
     ``2*alpha*log2(p) + 2*beta*(p-1)*n/p`` — §V-A of the paper (compute term
     omitted, as in the paper).
+
+    Degenerate cases mirror :func:`t_bcast_scatter_allgather`: ``p == 1``
+    reduces onto itself (0.0); ``nbytes == 0`` pays only the latency term.
     """
     check_positive("p", p)
     if nbytes < 0:
         raise ValueError("nbytes must be >= 0")
     if p == 1:
         return 0.0
+    if nbytes == 0:
+        return 2.0 * alpha * math.log2(p)
     return 2.0 * alpha * math.log2(p) + 2.0 * beta * (p - 1) * nbytes / p
 
 

@@ -66,6 +66,7 @@ version-guarded no-ops, so the heap stays O(active flows) on long runs
 from __future__ import annotations
 
 import heapq
+from typing import NamedTuple
 
 import numpy as np
 
@@ -77,6 +78,30 @@ from repro.sim.trace import SpanKind, Trace
 
 _EPS_BYTES = 1e-6
 _INF = float("inf")
+
+
+class FlowRecord(NamedTuple):
+    """One completed flow, as exported to :mod:`repro.analytics`.
+
+    ``t_start`` is the instant the payload hit the wire (post latency
+    already paid) and ``t_end`` the delivery of the last byte, so
+    ``[t_start, t_end)`` is exactly the interval the flow occupied its link
+    resources.  ``op`` is an opaque operation key — ``(cid, tag)`` for MPI
+    traffic, so each collective instance (one tag per instance) and each
+    p2p envelope stream gets a distinct key; ``None`` for raw
+    :meth:`Fabric.transfer` calls.
+    """
+
+    fid: int
+    src_rank: int
+    dst_rank: int
+    src_node: int
+    dst_node: int
+    nbytes: float
+    channel: int
+    t_start: float
+    t_end: float
+    op: object | None
 
 # Resource keys are packed ints — ``(((ident << 2) | kind) << 3) | channel``
 # — so the hot dict operations (share cache hits, dirty marks, membership
@@ -119,6 +144,8 @@ class Flow:
         "active",
         "timer",
         "rec_node",
+        "channel",
+        "op",
     )
 
     def __init__(self, fid, src_rank, dst_rank, src_node, dst_node, nbytes, cap,
@@ -141,6 +168,8 @@ class Flow:
         self.active = False
         self.timer: list | None = None  # pending completion heap entry
         self.rec_node = None  # recording: this flow's K_FLOW graph node
+        self.channel = 0  # virtual lane the flow's shares come from
+        self.op = None    # opaque operation key ((cid, tag)) for analytics
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -338,6 +367,12 @@ class Fabric:
         self._active_inter = 0
         self._busy_since = 0.0
         self.inter_busy_time = 0.0
+        # Flow-record export for repro.analytics: one FlowRecord per
+        # completed flow when a live trace is attached (observability runs
+        # only — untraced sweeps pay nothing).  See :meth:`flow_records`.
+        self.flow_log: list[FlowRecord] | None = (
+            [] if trace is not None and trace.enabled else None
+        )
 
     def _flush_aggregate(self) -> None:
         """Report this fabric's traffic deltas to the class-wide aggregates.
@@ -387,10 +422,13 @@ class Fabric:
         done_cb,
         *done_args,
         channel: int = 0,
+        op: object | None = None,
     ) -> None:
         """Like :meth:`transfer`, but invokes ``done_cb(*done_args)`` on
         delivery instead of allocating a :class:`SimEvent` — the transport
-        layer's per-message fast path.
+        layer's per-message fast path.  ``op`` is an opaque operation key
+        (the transport passes ``(cid, tag)``) carried through to the flow
+        log for :mod:`repro.analytics`; it does not affect timing.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -437,6 +475,10 @@ class Fabric:
             done_cb, done_args,
         )
         flow.resources = resources
+        if channel:
+            flow.channel = channel
+        if op is not None:
+            flow.op = op
         engine = self.engine
         rec = engine.recorder
         if rec is not None:
@@ -494,6 +536,15 @@ class Fabric:
             "channel_bytes": list(self.channel_bytes),
             "channel_messages": list(self.channel_messages),
         }
+
+    def flow_records(self) -> list["FlowRecord"]:
+        """Completed flows in completion order (see :class:`FlowRecord`).
+
+        Only collected while a live trace is attached (the fabric is then
+        already in observability mode); untraced runs return ``[]`` so
+        callers can probe unconditionally.
+        """
+        return list(self.flow_log) if self.flow_log is not None else []
 
     # -- internals --------------------------------------------------------------
 
@@ -572,6 +623,9 @@ class Fabric:
             if self._active_inter == 0:
                 self.inter_busy_time += self.engine.now - self._busy_since
         if self.trace is not None and self.trace.enabled:
+            # The link (src/dst node) and lane ids let repro.analytics
+            # attribute this span to a per-(link, channel) timeline without
+            # re-deriving them from packed resource keys.
             self.trace.add(
                 flow.src_rank,
                 flow.start_time,
@@ -579,7 +633,16 @@ class Fabric:
                 SpanKind.TRANSFER,
                 f"flow->r{flow.dst_rank}",
                 nbytes=flow.nbytes,
+                src_node=flow.src_node,
+                dst_node=flow.dst_node,
+                channel=flow.channel,
             )
+        if self.flow_log is not None:
+            self.flow_log.append(FlowRecord(
+                fid, flow.src_rank, flow.dst_rank, flow.src_node,
+                flow.dst_node, flow.nbytes, flow.channel, flow.start_time,
+                self.engine.now, flow.op,
+            ))
         if flow.rec_node is not None:
             # Everything caused by this delivery chains off the flow's
             # graph node, whose replayed value is the fabric's own answer.

@@ -512,6 +512,45 @@ def replay_kernel(recording: GraphRecorder,
     return elapsed, world_time
 
 
+def replay_kernel_grid(
+    recording: GraphRecorder,
+    overrides: list[dict],
+    machine: MachineParams | None = None,
+    solver: str = "auto",
+) -> list[float]:
+    """Re-price one recorded kernel run over a grid of fabric constants.
+
+    ``overrides`` is a list of ``{field: value}`` dicts, each naming only
+    :data:`REPLAY_SAFE_FIELDS` of ``NetworkParams``; point ``i``'s replay
+    runs under ``recording.params.replace(**overrides[i])``.  Returns the
+    per-point kernel times (same contract as :func:`replay_kernel`).
+
+    This is the calibration sweep ROADMAP item 2 asked for: the expensive
+    structural work — recording the run, folding the static graph — is paid
+    once, and every grid point costs only the fabric mini-simulation of the
+    recorded flows (zero full simulator runs).  A non-replay-safe field in
+    any override raises :class:`ReplayInvalid` before any point runs, so a
+    caller cannot silently sweep a constant the graph cannot re-price.
+    """
+    for ov in overrides:
+        bad = set(ov) - REPLAY_SAFE_FIELDS
+        if bad:
+            raise ReplayInvalid(
+                f"grid override names non-replay-safe field(s) "
+                f"{sorted(bad)}; only {sorted(REPLAY_SAFE_FIELDS)} can be "
+                f"re-priced on a recorded graph"
+            )
+    base = recording.params
+    out: list[float] = []
+    for ov in overrides:
+        elapsed, _world = replay_kernel(
+            recording, params=base.replace(**ov), machine=machine,
+            solver=solver,
+        )
+        out.append(elapsed)
+    return out
+
+
 def dump_recording(recording: GraphRecorder, path) -> None:
     """Write the recorded-graph artifact (CI uploads this for inspection)."""
     with open(path, "w") as fh:

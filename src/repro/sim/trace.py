@@ -78,6 +78,21 @@ class Trace:
         """Sum of span durations of one kind on one rank."""
         return sum(r.duration for r in self.records if r.rank == rank and r.kind == kind)
 
+    def of_kind(self, kind: SpanKind) -> list[TraceRecord]:
+        """All spans of one kind, in recording order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def ranks(self) -> list[int]:
+        """Sorted set of ranks that recorded at least one span."""
+        return sorted({r.rank for r in self.records})
+
+    def horizon(self) -> tuple[float, float]:
+        """``(t_min, t_max)`` over all spans; ``(0.0, 0.0)`` when empty."""
+        if not self.records:
+            return (0.0, 0.0)
+        return (min(r.t0 for r in self.records),
+                max(r.t1 for r in self.records))
+
     def clear(self) -> None:
         self.records.clear()
 

@@ -1,0 +1,137 @@
+"""Tests for the overlap-fraction metrics (repro.analytics.overlap)."""
+
+import pytest
+
+from repro.analytics.overlap import compute_overlap, overlap_report_for_world
+from repro.netmodel.fabric import FlowRecord
+from repro.sim.trace import SpanKind, Trace
+
+
+def rec(fid, t0, t1, *, src_node=0, dst_node=1, channel=0, op=None,
+        nbytes=100.0):
+    return FlowRecord(fid, src_node, dst_node, src_node, dst_node, nbytes,
+                      channel, t0, t1, op)
+
+
+class TestComputeOverlap:
+    def test_empty(self):
+        report = compute_overlap([])
+        assert report.comm_busy_time == 0.0
+        assert report.comm_comm_overlap_fraction == 0.0
+        assert report.serialization_score == 0.0
+        assert report.total_flows == 0
+
+    def test_serialized_ops_no_overlap(self):
+        # Two operations back to back on one wire: zero comm-comm overlap.
+        report = compute_overlap([
+            rec(1, 0.0, 1.0, op="a"), rec(2, 1.0, 2.0, op="b"),
+        ])
+        assert report.comm_busy_time == pytest.approx(2.0)
+        assert report.wire_busy_time == pytest.approx(2.0)
+        assert report.comm_comm_overlap_fraction == 0.0
+        assert report.flow_overlap_fraction == 0.0
+        # Single wire continuously busy: ideally pipelined.
+        assert report.serialization_score == pytest.approx(1.0)
+
+    def test_overlapped_ops_counted_per_wire(self):
+        # Two ops share wire n0->n1 during [1, 2); the op on the disjoint
+        # wire n2->n3 is spatial parallelism and adds busy time only.
+        report = compute_overlap([
+            rec(1, 0.0, 2.0, op="a"),
+            rec(2, 1.0, 3.0, op="b"),
+            rec(3, 0.0, 3.0, src_node=2, dst_node=3, op="c"),
+        ])
+        assert report.wire_busy_time == pytest.approx(3.0 + 3.0)
+        assert report.comm_comm_overlap_time == pytest.approx(1.0)
+        assert report.comm_comm_overlap_fraction == pytest.approx(1.0 / 6.0)
+
+    def test_same_op_flows_are_not_comm_comm(self):
+        report = compute_overlap([
+            rec(1, 0.0, 2.0, op="a"), rec(2, 1.0, 3.0, op="a"),
+        ])
+        assert report.flow_overlap_time == pytest.approx(1.0)
+        assert report.comm_comm_overlap_time == 0.0
+
+    def test_lanes_of_one_wire_do_overlap(self):
+        # Colored schedules: distinct ops on distinct channels of the SAME
+        # physical wire are overlapped communications.
+        report = compute_overlap([
+            rec(1, 0.0, 2.0, channel=0, op="a"),
+            rec(2, 0.0, 2.0, channel=1, op="b"),
+        ])
+        assert report.wire_busy_time == pytest.approx(2.0)
+        assert report.comm_comm_overlap_fraction == pytest.approx(1.0)
+        # Lane-level view still shows isolated lanes.
+        for tl in report.links.values():
+            assert tl.comm_comm_overlap_fraction == 0.0
+
+    def test_comm_compute_overlap(self):
+        tr = Trace()
+        tr.add(0, 0.5, 1.5, SpanKind.COMPUTE, "gemm")
+        tr.add(0, 5.0, 6.0, SpanKind.WAIT, "w")  # non-compute: ignored
+        report = compute_overlap([rec(1, 0.0, 2.0, op="a")], tr)
+        assert report.compute_busy_time == pytest.approx(1.0)
+        assert report.comm_compute_overlap_time == pytest.approx(1.0)
+        assert report.comm_compute_overlap_fraction == pytest.approx(0.5)
+        assert report.breakdown[0]["compute"] == pytest.approx(1.0)
+
+    def test_serialization_score_idle_bottleneck(self):
+        # Horizon 4, bottleneck wire busy 2 -> score 2 (half idle).
+        report = compute_overlap([
+            rec(1, 0.0, 1.0, op="a"), rec(2, 3.0, 4.0, op="b"),
+        ])
+        assert report.serialization_score == pytest.approx(2.0)
+
+    def test_summary_and_jsonable(self):
+        import json
+
+        report = compute_overlap([rec(1, 0.0, 1.0, op=(3, 7))])
+        s = report.summary()
+        assert set(s) == {
+            "comm_comm_overlap_fraction", "flow_overlap_fraction",
+            "comm_compute_overlap_fraction", "serialization_score",
+            "comm_busy_time", "wire_busy_time", "total_flows",
+        }
+        payload = report.to_jsonable()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestWorldReports:
+    def test_requires_trace(self):
+        from repro.dense.summa import run_summa
+
+        res = run_summa(2, 256, algorithm="plain")
+        with pytest.raises(ValueError, match="trace=True"):
+            overlap_report_for_world(res.world)
+
+    def test_traced_run_has_flows_and_compute(self):
+        from repro.dense.summa import run_summa
+
+        res = run_summa(2, 256, algorithm="plain", trace=True)
+        report = overlap_report_for_world(res.world)
+        assert report.total_flows > 0
+        assert report.comm_busy_time > 0.0
+        assert report.compute_busy_time > 0.0
+        assert 0.0 <= report.comm_comm_overlap_fraction <= 1.0
+        assert report.serialization_score >= 1.0
+        assert report.last_active_link is not None
+
+    def test_pipelined_overlaps_more_than_plain(self):
+        # The ablation-overlap experiment's core claim in miniature.
+        from repro.dense.summa import run_summa
+
+        plain = overlap_report_for_world(
+            run_summa(4, 1024, algorithm="plain", trace=True).world)
+        colored = overlap_report_for_world(
+            run_summa(4, 1024, algorithm="colored", colors=4, depth=4,
+                      trace=True).world)
+        assert colored.comm_comm_overlap_fraction > \
+            plain.comm_comm_overlap_fraction
+        assert plain.comm_comm_overlap_fraction < 0.01
+
+    def test_flow_log_absent_without_trace(self):
+        from repro.dense.summa import run_summa
+
+        res = run_summa(2, 256, algorithm="plain")
+        assert res.world.fabric.flow_log is None
+        assert res.world.fabric.flow_records() == []

@@ -1,0 +1,160 @@
+"""Unit tests for the interval algebra and link timelines (repro.analytics)."""
+
+import pytest
+
+from repro.analytics.timeline import (
+    LinkKey,
+    build_link_timelines,
+    find_last_active,
+    gap_histogram,
+    intersect_intervals,
+    interval_complement,
+    merge_intervals,
+    multiplicity_intervals,
+    rank_breakdown,
+    total_measure,
+)
+from repro.netmodel.fabric import FlowRecord
+from repro.sim.trace import SpanKind, Trace
+
+
+def rec(fid, t0, t1, *, src=0, dst=1, src_node=0, dst_node=1, nbytes=100.0,
+        channel=0, op=None):
+    return FlowRecord(fid, src, dst, src_node, dst_node, nbytes, channel,
+                      t0, t1, op)
+
+
+class TestIntervalAlgebra:
+    def test_merge_overlapping_and_touching(self):
+        ivs = [(0.0, 1.0), (0.5, 2.0), (2.0, 3.0), (5.0, 6.0)]
+        assert merge_intervals(ivs) == [(0.0, 3.0), (5.0, 6.0)]
+
+    def test_merge_drops_zero_measure(self):
+        assert merge_intervals([(1.0, 1.0), (2.0, 2.0)]) == []
+        assert merge_intervals([]) == []
+
+    def test_merge_unsorted_input(self):
+        assert merge_intervals([(3.0, 4.0), (0.0, 1.0)]) == [
+            (0.0, 1.0), (3.0, 4.0)]
+
+    def test_total_measure(self):
+        assert total_measure([(0.0, 1.5), (2.0, 2.25)]) == pytest.approx(1.75)
+        assert total_measure([]) == 0.0
+
+    def test_intersect(self):
+        a = [(0.0, 2.0), (3.0, 5.0)]
+        b = [(1.0, 4.0)]
+        assert intersect_intervals(a, b) == [(1.0, 2.0), (3.0, 4.0)]
+        assert intersect_intervals(a, []) == []
+
+    def test_intersect_touching_is_empty(self):
+        # Half-open: [0,1) and [1,2) share no instant.
+        assert intersect_intervals([(0.0, 1.0)], [(1.0, 2.0)]) == []
+
+    def test_complement(self):
+        busy = [(1.0, 2.0), (3.0, 4.0)]
+        assert interval_complement(busy, 0.0, 5.0) == [
+            (0.0, 1.0), (2.0, 3.0), (4.0, 5.0)]
+        assert interval_complement(busy, 1.0, 4.0) == [(2.0, 3.0)]
+        assert interval_complement([], 0.0, 1.0) == [(0.0, 1.0)]
+        assert interval_complement([(0.0, 1.0)], 0.0, 1.0) == []
+
+    def test_multiplicity_plain(self):
+        ivs = [(0.0, 2.0, "a"), (1.0, 3.0, "b"), (5.0, 6.0, "c")]
+        assert multiplicity_intervals(ivs, threshold=2) == [(1.0, 2.0)]
+        assert multiplicity_intervals(ivs, threshold=3) == []
+
+    def test_multiplicity_touching_no_overlap(self):
+        # [0,1) then [1,2): never two at once under half-open semantics.
+        ivs = [(0.0, 1.0, "a"), (1.0, 2.0, "b")]
+        assert multiplicity_intervals(ivs, threshold=2) == []
+
+    def test_multiplicity_distinct_key(self):
+        # Two flows of the SAME op overlap as flows but not as operations.
+        ivs = [(0.0, 2.0, "op1"), (1.0, 3.0, "op1"), (2.5, 4.0, "op2")]
+        assert multiplicity_intervals(ivs, threshold=2) == [
+            (1.0, 2.0), (2.5, 3.0)]
+        assert multiplicity_intervals(ivs, threshold=2, distinct_key=True) == [
+            (2.5, 3.0)]
+
+    def test_gap_histogram_log2_buckets(self):
+        # 1.5 us -> floor(log2 1.5e-6) = -20; 3 us -> -19.
+        hist = gap_histogram([(0.0, 1.5e-6), (10.0, 10.0 + 3e-6),
+                              (20.0, 20.0 + 1.6e-6)])
+        assert hist == {-20: 2, -19: 1}
+        assert gap_histogram([]) == {}
+
+
+class TestLinkTimelines:
+    def test_grouping_and_metrics(self):
+        records = [
+            rec(1, 0.0, 1.0, op="a"),
+            rec(2, 0.5, 2.0, op="b"),
+            rec(3, 4.0, 5.0, op="a"),
+            rec(4, 0.0, 1.0, src_node=2, dst_node=3, op="a"),
+            rec(5, 0.0, 1.0, src=2, dst=3, src_node=1, dst_node=1, op="a"),
+        ]
+        tls = build_link_timelines(records)
+        assert set(tls) == {
+            LinkKey("wire", 0, 1, 0), LinkKey("wire", 2, 3, 0),
+            LinkKey("shm", 1, 1, 0),
+        }
+        tl = tls[LinkKey("wire", 0, 1, 0)]
+        assert tl.flows == 3
+        assert tl.nbytes == 300.0
+        assert tl.busy == [(0.0, 2.0), (4.0, 5.0)]
+        assert tl.busy_time == pytest.approx(3.0)
+        assert tl.span == pytest.approx(5.0)
+        assert tl.utilization == pytest.approx(3.0 / 5.0)
+        assert tl.idle_gaps == [(2.0, 4.0)]
+        assert tl.largest_gap == pytest.approx(2.0)
+        # Flows of distinct ops overlap in [0.5, 1.0).
+        assert tl.flow_overlap_fraction == pytest.approx(0.5 / 3.0)
+        assert tl.comm_comm_overlap_fraction == pytest.approx(0.5 / 3.0)
+
+    def test_channels_are_distinct_lanes(self):
+        records = [rec(1, 0.0, 1.0, channel=0), rec(2, 0.0, 1.0, channel=1)]
+        tls = build_link_timelines(records)
+        assert set(tls) == {LinkKey("wire", 0, 1, 0), LinkKey("wire", 0, 1, 1)}
+        for tl in tls.values():
+            assert tl.flows == 1
+            # Per lane there is only one flow: no lane-level overlap.
+            assert tl.flow_overlap_fraction == 0.0
+
+    def test_labels(self):
+        assert LinkKey("wire", 0, 1, 2).label == "n0->n1/ch2"
+        assert LinkKey("shm", 3, 3, 0).label == "shm:n3/ch0"
+
+    def test_empty(self):
+        assert build_link_timelines([]) == {}
+        assert find_last_active({}) == (None, 0.0)
+
+    def test_find_last_active(self):
+        tls = build_link_timelines([
+            rec(1, 0.0, 1.0),
+            rec(2, 0.0, 3.0, src_node=2, dst_node=3),
+        ])
+        key, t = find_last_active(tls)
+        assert key == LinkKey("wire", 2, 3, 0)
+        assert t == 3.0
+
+    def test_to_jsonable_roundtrip(self):
+        import json
+
+        tls = build_link_timelines([rec(1, 0.0, 1.0, op="a")])
+        payload = next(iter(tls.values())).to_jsonable()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestRankBreakdown:
+    def test_totals_per_kind(self):
+        tr = Trace()
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "p")
+        tr.add(0, 1.0, 3.0, SpanKind.WAIT, "w")
+        tr.add(1, 0.0, 0.5, SpanKind.COMPUTE, "c")
+        out = rank_breakdown(tr)
+        assert list(out) == [0, 1]
+        assert out[0]["post"] == pytest.approx(1.0)
+        assert out[0]["wait"] == pytest.approx(2.0)
+        assert out[0]["compute"] == 0.0
+        assert out[1]["compute"] == pytest.approx(0.5)

@@ -78,3 +78,45 @@ class TestEffectiveBandwidth:
         above = effective_p2p_bandwidth(p.rendezvous_threshold + 1, p)
         # Bandwidth dips right above the threshold despite the larger size.
         assert above < below
+
+
+class TestDegenerateCases:
+    """Pinned p == 1 / nbytes == 0 contracts of the collective models."""
+
+    def test_p_one_exact_zero(self):
+        # Exactly 0.0, not approximately: a single rank communicates nothing.
+        assert t_bcast_scatter_allgather(0, 1, 1e-6, 1e-9) == 0.0
+        assert t_reduce_rabenseifner(0, 1, 1e-6, 1e-9) == 0.0
+        assert t_bcast_scatter_allgather(10 * MB, 1, 1e-6, 1e-9) == 0.0
+        assert t_reduce_rabenseifner(10 * MB, 1, 1e-6, 1e-9) == 0.0
+
+    def test_zero_bytes_is_latency_only(self):
+        # The early return must be bit-identical to the full formula with a
+        # zero bandwidth term.
+        for p in (2, 3, 4, 8, 16):
+            alpha, beta = 1.5e-6, 1e-9
+            assert t_bcast_scatter_allgather(0, p, alpha, beta) == alpha * (
+                math.log2(p) + p - 1
+            )
+            assert t_reduce_rabenseifner(0, p, alpha, beta) == (
+                2.0 * alpha * math.log2(p)
+            )
+
+    def test_zero_bytes_ignores_beta(self):
+        # With no payload the bandwidth constant cannot matter.
+        a = t_bcast_scatter_allgather(0, 4, 1e-6, 1e-9)
+        b = t_bcast_scatter_allgather(0, 4, 1e-6, 1e+9)
+        assert a == b
+        a = t_reduce_rabenseifner(0, 4, 1e-6, 1e-9)
+        b = t_reduce_rabenseifner(0, 4, 1e-6, 1e+9)
+        assert a == b
+
+    def test_negative_still_rejected(self):
+        with pytest.raises(ValueError):
+            t_bcast_scatter_allgather(-1, 4, 1e-6, 1e-9)
+        with pytest.raises(ValueError):
+            t_reduce_rabenseifner(-1, 4, 1e-6, 1e-9)
+        with pytest.raises(ValueError):
+            t_bcast_scatter_allgather(0, 0, 1e-6, 1e-9)
+        with pytest.raises(ValueError):
+            t_reduce_rabenseifner(0, 0, 1e-6, 1e-9)

@@ -79,3 +79,65 @@ class TestGantt:
         out = tr.render_gantt()
         for glyph in "#.*=":
             assert glyph in out
+
+
+class TestTraceEdgeCases:
+    def test_disabled_trace_skips_validation_too(self):
+        # A disabled trace is a pure no-op: even an invalid (backwards)
+        # span must not raise, because swept runs never pay for checks.
+        tr = Trace(enabled=False)
+        tr.add(0, 2.0, 1.0, SpanKind.POST, "backwards")
+        assert tr.records == []
+
+    def test_zero_duration_span(self):
+        tr = Trace()
+        tr.add(0, 1.0, 1.0, SpanKind.MISC, "instant")
+        assert tr.records[0].duration == 0.0
+        assert tr.total(0, SpanKind.MISC) == 0.0
+        # Zero-duration spans survive the JSON round trip unchanged.
+        assert Trace.records_from_jsonable(tr.to_jsonable()) == tr.records
+
+    def test_out_of_order_adds(self):
+        # Recording order is free; per-rank queries sort by start time.
+        tr = Trace()
+        tr.add(0, 5.0, 6.0, SpanKind.WAIT, "late")
+        tr.add(0, 0.0, 1.0, SpanKind.POST, "early")
+        tr.add(0, 2.0, 3.0, SpanKind.COMPUTE, "middle")
+        assert [r.label for r in tr.for_rank(0)] == ["early", "middle", "late"]
+        assert tr.horizon() == (0.0, 6.0)
+
+    def test_helper_methods(self):
+        tr = Trace()
+        tr.add(3, 0.0, 1.0, SpanKind.COMPUTE, "a")
+        tr.add(1, 1.0, 2.0, SpanKind.COMPUTE, "b")
+        tr.add(1, 2.0, 3.0, SpanKind.WAIT, "c")
+        assert tr.ranks() == [1, 3]
+        assert [r.label for r in tr.of_kind(SpanKind.COMPUTE)] == ["a", "b"]
+        assert tr.horizon() == (0.0, 3.0)
+        assert Trace().ranks() == []
+        assert Trace().horizon() == (0.0, 0.0)
+
+    def test_merged_streams_byte_identical(self):
+        # The --jobs N contract in miniature: concatenating per-point span
+        # streams in grid order must serialize byte-for-byte like one
+        # long-lived trace that recorded the same spans.
+        import json
+
+        def point_spans(idx):
+            tr = Trace()
+            tr.add(idx, idx * 1.0, idx * 1.0 + 0.5, SpanKind.COMPUTE,
+                   f"point{idx}", nbytes=idx * 10)
+            tr.add(idx, idx * 1.0 + 0.5, idx * 1.0 + 0.7, SpanKind.WAIT,
+                   f"wait{idx}")
+            return tr
+
+        serial = Trace()
+        for idx in range(4):
+            for r in point_spans(idx).records:
+                serial.records.append(r)
+        merged = Trace()
+        # "Workers" complete out of order; the harness reassembles grid order.
+        parts = {idx: point_spans(idx) for idx in (2, 0, 3, 1)}
+        for idx in sorted(parts):
+            merged.records.extend(parts[idx].records)
+        assert json.dumps(merged.to_jsonable()) == json.dumps(serial.to_jsonable())
